@@ -1,0 +1,21 @@
+//! Louvain community detection on QPU topologies (Algorithm 2's
+//! candidate-set step).
+
+use cloudqc_graph::community::louvain;
+use cloudqc_graph::random::gnp_connected;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_louvain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("community");
+    for (n, p) in [(20, 0.3), (100, 0.1), (400, 0.03)] {
+        let graph = gnp_connected(n, p, 11);
+        group.bench_function(format!("louvain/G({n},{p})"), |b| {
+            b.iter(|| louvain(black_box(&graph), 3));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_louvain);
+criterion_main!(benches);

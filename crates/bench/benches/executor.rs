@@ -1,0 +1,44 @@
+//! End-to-end single-job simulation throughput (place once, simulate
+//! under each scheduler) — the kernel behind Figs. 10–13 / 18–22.
+
+use cloudqc_bench::{bench_circuit, bench_cloud};
+use cloudqc_core::exec::simulate_job;
+use cloudqc_core::placement::{CloudQcPlacement, PlacementAlgorithm};
+use cloudqc_core::schedule::{AverageScheduler, CloudQcScheduler, GreedyScheduler, Scheduler};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_executor(c: &mut Criterion) {
+    let cloud = bench_cloud();
+    for name in ["qugan_n39", "adder_n64", "knn_n129"] {
+        let circuit = bench_circuit(name);
+        let placement = CloudQcPlacement::default()
+            .place(&circuit, &cloud, &cloud.status(), 7)
+            .expect("placement succeeds");
+        let schedulers: Vec<(&str, Box<dyn Scheduler>)> = vec![
+            ("greedy", Box::new(GreedyScheduler)),
+            ("average", Box::new(AverageScheduler)),
+            ("cloudqc", Box::new(CloudQcScheduler)),
+        ];
+        let mut group = c.benchmark_group(format!("executor/{name}"));
+        for (sched_name, sched) in &schedulers {
+            group.bench_function(*sched_name, |b| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    simulate_job(
+                        black_box(&circuit),
+                        black_box(&placement),
+                        &cloud,
+                        sched.as_ref(),
+                        seed,
+                    )
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_executor);
+criterion_main!(benches);

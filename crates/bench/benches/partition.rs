@@ -1,0 +1,25 @@
+//! Multilevel k-way partitioner throughput on real circuit interaction
+//! graphs (the inner loop of the paper's Algorithm 1 sweep).
+
+use cloudqc_bench::bench_circuit;
+use cloudqc_circuit::interaction::interaction_graph;
+use cloudqc_graph::partition::{partition, PartitionConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    for name in ["ghz_n127", "qugan_n111", "multiplier_n75", "qft_n160"] {
+        let graph = interaction_graph(&bench_circuit(name));
+        for k in [4, 8] {
+            group.bench_function(format!("{name}/k{k}"), |b| {
+                let cfg = PartitionConfig::new(k).with_imbalance(0.3).with_seed(7);
+                b.iter(|| partition(black_box(&graph), black_box(&cfg)).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

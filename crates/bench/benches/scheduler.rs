@@ -1,0 +1,48 @@
+//! One allocation round of each network scheduler under heavy
+//! contention (the per-round cost of Algorithm 3).
+
+use cloudqc_cloud::QpuId;
+use cloudqc_core::schedule::{
+    AverageScheduler, CloudQcScheduler, GreedyScheduler, RandomScheduler, RemoteRequest, Scheduler,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// A contended front layer: `n` requests over 20 QPUs, clustered so
+/// several requests share endpoints.
+fn requests(n: usize) -> Vec<RemoteRequest> {
+    (0..n)
+        .map(|i| RemoteRequest {
+            key: i as u64,
+            a: QpuId::new(i % 7),
+            b: QpuId::new(7 + (i % 13)),
+            priority: (n - i) % 17,
+        })
+        .collect()
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let available = vec![5usize; 20];
+    let schedulers: Vec<(&str, Box<dyn Scheduler>)> = vec![
+        ("greedy", Box::new(GreedyScheduler)),
+        ("average", Box::new(AverageScheduler)),
+        ("random", Box::new(RandomScheduler)),
+        ("cloudqc", Box::new(CloudQcScheduler)),
+    ];
+    for n in [8, 64] {
+        let reqs = requests(n);
+        let mut group = c.benchmark_group(format!("scheduler/front{n}"));
+        for (name, sched) in &schedulers {
+            group.bench_function(*name, |b| {
+                let mut rng = StdRng::seed_from_u64(3);
+                b.iter(|| sched.allocate(black_box(&reqs), black_box(&available), &mut rng));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Shared fixtures for the CloudQC Criterion benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cloudqc_circuit::generators::catalog;
+use cloudqc_circuit::Circuit;
+use cloudqc_cloud::{Cloud, CloudBuilder};
+
+/// The paper's default 20-QPU cloud with a fixed topology seed.
+pub fn bench_cloud() -> Cloud {
+    CloudBuilder::paper_default(42).build()
+}
+
+/// A benchmark circuit by catalog name.
+///
+/// # Panics
+///
+/// Panics if the name is not in the catalog.
+pub fn bench_circuit(name: &str) -> Circuit {
+    catalog::by_name(name).unwrap_or_else(|| panic!("unknown benchmark circuit {name}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_work() {
+        assert_eq!(bench_cloud().qpu_count(), 20);
+        assert_eq!(bench_circuit("knn_n67").num_qubits(), 67);
+    }
+}

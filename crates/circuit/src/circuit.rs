@@ -1,0 +1,445 @@
+//! The circuit container.
+
+use crate::gate::{Gate, GateKind, Qubit};
+use std::error::Error;
+use std::fmt;
+
+/// A quantum circuit: an ordered list of gates over `num_qubits` qubits.
+///
+/// Gate order is program order; concurrency is derived from the
+/// dependency DAG (see [`crate::dag`]), not stored here. All mutating
+/// operations validate qubit indices against the declared width.
+///
+/// # Example
+///
+/// ```
+/// use cloudqc_circuit::Circuit;
+///
+/// let mut c = Circuit::new(3).with_name("bell+1");
+/// c.h(0);
+/// c.cx(0, 1);
+/// c.measure_all();
+/// assert_eq!(c.gate_count(), 5);
+/// assert_eq!(c.two_qubit_gate_count(), 1);
+/// assert_eq!(c.depth(), 3); // h | cx | measure layer
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Circuit {
+    name: String,
+    num_qubits: usize,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// An empty circuit over `num_qubits` qubits named `"circuit"`.
+    pub fn new(num_qubits: usize) -> Self {
+        Circuit {
+            name: "circuit".to_owned(),
+            num_qubits,
+            gates: Vec::new(),
+        }
+    }
+
+    /// Renames the circuit (builder style).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The circuit's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of qubits the circuit is declared over.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The gate sequence in program order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Total number of gates (including measurements).
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of two-qubit gates (the paper's `#CNOTs` / Table II
+    /// "# of 2-Qubit Gates").
+    pub fn two_qubit_gate_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_two_qubit()).count()
+    }
+
+    /// Appends a gate after validating its operands against the circuit
+    /// width.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::QubitOutOfRange`] if an operand index is `>=
+    /// num_qubits()`.
+    pub fn try_push(&mut self, gate: Gate) -> Result<(), CircuitError> {
+        for q in gate.qubits() {
+            if q.index() >= self.num_qubits {
+                return Err(CircuitError::QubitOutOfRange {
+                    qubit: q.index(),
+                    width: self.num_qubits,
+                });
+            }
+        }
+        self.gates.push(gate);
+        Ok(())
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand is out of range; use [`Circuit::try_push`]
+    /// for a fallible variant.
+    pub fn push(&mut self, gate: Gate) {
+        self.try_push(gate).expect("gate operands within circuit width");
+    }
+
+    /// Appends a Hadamard. See [`Circuit::push`] for panics.
+    pub fn h(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::h(q));
+        self
+    }
+
+    /// Appends a Pauli-X. See [`Circuit::push`] for panics.
+    pub fn x(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::x(q));
+        self
+    }
+
+    /// Appends a Pauli-Y. See [`Circuit::push`] for panics.
+    pub fn y(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::y(q));
+        self
+    }
+
+    /// Appends a Pauli-Z. See [`Circuit::push`] for panics.
+    pub fn z(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::z(q));
+        self
+    }
+
+    /// Appends an S gate. See [`Circuit::push`] for panics.
+    pub fn s(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::s(q));
+        self
+    }
+
+    /// Appends an S†. See [`Circuit::push`] for panics.
+    pub fn sdg(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::sdg(q));
+        self
+    }
+
+    /// Appends a T gate. See [`Circuit::push`] for panics.
+    pub fn t(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::t(q));
+        self
+    }
+
+    /// Appends a T†. See [`Circuit::push`] for panics.
+    pub fn tdg(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::tdg(q));
+        self
+    }
+
+    /// Appends an X-rotation. See [`Circuit::push`] for panics.
+    pub fn rx(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.push(Gate::rx(q, theta));
+        self
+    }
+
+    /// Appends a Y-rotation. See [`Circuit::push`] for panics.
+    pub fn ry(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.push(Gate::ry(q, theta));
+        self
+    }
+
+    /// Appends a Z-rotation. See [`Circuit::push`] for panics.
+    pub fn rz(&mut self, q: usize, theta: f64) -> &mut Self {
+        self.push(Gate::rz(q, theta));
+        self
+    }
+
+    /// Appends a CNOT. See [`Circuit::push`] for panics.
+    pub fn cx(&mut self, c: usize, t: usize) -> &mut Self {
+        self.push(Gate::cx(c, t));
+        self
+    }
+
+    /// Appends a CZ. See [`Circuit::push`] for panics.
+    pub fn cz(&mut self, a: usize, b: usize) -> &mut Self {
+        self.push(Gate::cz(a, b));
+        self
+    }
+
+    /// Appends a measurement. See [`Circuit::push`] for panics.
+    pub fn measure(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::measure(q));
+        self
+    }
+
+    /// Measures every qubit in index order.
+    pub fn measure_all(&mut self) -> &mut Self {
+        for q in 0..self.num_qubits {
+            self.push(Gate::measure(q));
+        }
+        self
+    }
+
+    /// Appends a controlled-phase *decomposed into the 2-CX + 3-RZ
+    /// standard form*, which is how QASMBench-style transpiled circuits
+    /// count gates (2 two-qubit gates per controlled phase).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand is out of range or `a == b`.
+    pub fn cp_decomposed(&mut self, a: usize, b: usize, lambda: f64) -> &mut Self {
+        self.rz(a, lambda / 2.0);
+        self.cx(a, b);
+        self.rz(b, -lambda / 2.0);
+        self.cx(a, b);
+        self.rz(b, lambda / 2.0);
+        self
+    }
+
+    /// Appends a Toffoli (CCX) decomposed into the standard 6-CX network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand is out of range or operands are not distinct.
+    pub fn ccx_decomposed(&mut self, c0: usize, c1: usize, t: usize) -> &mut Self {
+        assert!(c0 != c1 && c0 != t && c1 != t, "ccx operands must be distinct");
+        self.h(t);
+        self.cx(c1, t);
+        self.tdg(t);
+        self.cx(c0, t);
+        self.t(t);
+        self.cx(c1, t);
+        self.tdg(t);
+        self.cx(c0, t);
+        self.t(c1);
+        self.t(t);
+        self.h(t);
+        self.cx(c0, c1);
+        self.t(c0);
+        self.tdg(c1);
+        self.cx(c0, c1);
+        self
+    }
+
+    /// Appends a controlled-SWAP (Fredkin) decomposed into CX + CCX + CX
+    /// (8 two-qubit gates with the 6-CX Toffoli).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand is out of range or operands are not distinct.
+    pub fn cswap_decomposed(&mut self, c: usize, a: usize, b: usize) -> &mut Self {
+        assert!(c != a && c != b && a != b, "cswap operands must be distinct");
+        self.cx(b, a);
+        self.ccx_decomposed(c, a, b);
+        self.cx(b, a);
+        self
+    }
+
+    /// Circuit depth: the number of layers when gates are packed as
+    /// early as dependencies allow. Measurements count as gates.
+    /// Returns `0` for an empty circuit.
+    pub fn depth(&self) -> usize {
+        let mut layer = vec![0usize; self.num_qubits];
+        let mut max = 0;
+        for gate in &self.gates {
+            let d = gate
+                .qubits()
+                .iter()
+                .map(|q| layer[q.index()])
+                .max()
+                .unwrap_or(0)
+                + 1;
+            for q in gate.qubits() {
+                layer[q.index()] = d;
+            }
+            max = max.max(d);
+        }
+        max
+    }
+
+    /// Iterates over the indices and operand pairs of all two-qubit
+    /// gates, in program order.
+    pub fn two_qubit_gates(&self) -> impl Iterator<Item = (usize, Qubit, Qubit)> + '_ {
+        self.gates
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| g.qubit_pair().map(|(a, b)| (i, a, b)))
+    }
+
+    /// Number of measurement gates.
+    pub fn measurement_count(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| g.kind().is_measurement())
+            .count()
+    }
+
+    /// CNOT density `#2q-gates / num_qubits` — the first term of the
+    /// paper's batch-ordering metric `I_i` (Eq. 11).
+    pub fn cnot_density(&self) -> f64 {
+        if self.num_qubits == 0 {
+            return 0.0;
+        }
+        self.two_qubit_gate_count() as f64 / self.num_qubits as f64
+    }
+
+    /// Lowers structural gates to the CX basis: `Swap → 3 CX`,
+    /// `Cp → 2 CX + 3 Rz`. Other gates pass through. Used after QASM
+    /// import so gate counts match the transpiled form the paper's
+    /// Table II reports.
+    pub fn decompose_to_cx_basis(&self) -> Circuit {
+        let mut out = Circuit::new(self.num_qubits).with_name(self.name.clone());
+        for gate in &self.gates {
+            match gate.kind() {
+                GateKind::Swap => {
+                    let (a, b) = gate.qubit_pair().expect("swap is two-qubit");
+                    out.cx(a.index(), b.index());
+                    out.cx(b.index(), a.index());
+                    out.cx(a.index(), b.index());
+                }
+                GateKind::Cp(lambda) => {
+                    let (a, b) = gate.qubit_pair().expect("cp is two-qubit");
+                    out.cp_decomposed(a.index(), b.index(), lambda);
+                }
+                _ => out.push(*gate),
+            }
+        }
+        out
+    }
+}
+
+/// Errors produced by circuit construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A gate referenced a qubit outside the circuit width.
+    QubitOutOfRange {
+        /// The offending index.
+        qubit: usize,
+        /// The circuit width.
+        width: usize,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, width } => {
+                write!(f, "qubit {qubit} out of range for width {width}")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_validates_width() {
+        let mut c = Circuit::new(2);
+        assert!(c.try_push(Gate::h(1)).is_ok());
+        assert_eq!(
+            c.try_push(Gate::h(2)),
+            Err(CircuitError::QubitOutOfRange { qubit: 2, width: 2 })
+        );
+        assert_eq!(
+            c.try_push(Gate::cx(0, 5)),
+            Err(CircuitError::QubitOutOfRange { qubit: 5, width: 2 })
+        );
+    }
+
+    #[test]
+    fn depth_of_parallel_gates() {
+        let mut c = Circuit::new(4);
+        c.h(0).h(1).h(2).h(3);
+        assert_eq!(c.depth(), 1);
+        c.cx(0, 1).cx(2, 3);
+        assert_eq!(c.depth(), 2);
+        c.cx(1, 2);
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn depth_empty_circuit() {
+        assert_eq!(Circuit::new(3).depth(), 0);
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cz(1, 2).measure_all();
+        assert_eq!(c.gate_count(), 6);
+        assert_eq!(c.two_qubit_gate_count(), 2);
+        assert_eq!(c.measurement_count(), 3);
+        assert!((c.cnot_density() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cp_decomposition_gate_budget() {
+        let mut c = Circuit::new(2);
+        c.cp_decomposed(0, 1, 1.0);
+        assert_eq!(c.two_qubit_gate_count(), 2);
+        assert_eq!(c.gate_count(), 5);
+    }
+
+    #[test]
+    fn ccx_decomposition_gate_budget() {
+        let mut c = Circuit::new(3);
+        c.ccx_decomposed(0, 1, 2);
+        assert_eq!(c.two_qubit_gate_count(), 6);
+    }
+
+    #[test]
+    fn cswap_decomposition_gate_budget() {
+        let mut c = Circuit::new(3);
+        c.cswap_decomposed(0, 1, 2);
+        assert_eq!(c.two_qubit_gate_count(), 8);
+    }
+
+    #[test]
+    fn decompose_to_cx_basis_lowers_swap_and_cp() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::swap(0, 1));
+        c.push(Gate::cp(1, 2, 0.5));
+        c.h(2);
+        let d = c.decompose_to_cx_basis();
+        assert_eq!(d.two_qubit_gate_count(), 5); // 3 (swap) + 2 (cp)
+        assert!(d
+            .gates()
+            .iter()
+            .all(|g| !matches!(g.kind(), GateKind::Swap | GateKind::Cp(_))));
+    }
+
+    #[test]
+    fn two_qubit_gates_iterator_order() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).h(2).cz(1, 2);
+        let pairs: Vec<_> = c.two_qubit_gates().collect();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].0, 1); // gate index of the cx
+        assert_eq!(pairs[1].0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "within circuit width")]
+    fn push_panics_out_of_range() {
+        Circuit::new(1).cx(0, 1);
+    }
+}

@@ -1,0 +1,377 @@
+//! Gates and qubits.
+
+use std::fmt;
+
+/// A logical qubit index within a circuit.
+///
+/// # Example
+///
+/// ```
+/// use cloudqc_circuit::Qubit;
+///
+/// let q = Qubit::new(3);
+/// assert_eq!(q.index(), 3);
+/// assert_eq!(q.to_string(), "q[3]");
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Qubit(u32);
+
+impl Qubit {
+    /// Creates a qubit with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    pub fn new(index: usize) -> Self {
+        Qubit(u32::try_from(index).expect("qubit index fits in u32"))
+    }
+
+    /// The qubit's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Qubit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q[{}]", self.0)
+    }
+}
+
+impl From<usize> for Qubit {
+    fn from(index: usize) -> Self {
+        Qubit::new(index)
+    }
+}
+
+/// The operation a [`Gate`] performs.
+///
+/// Angles are in radians. The set covers everything the paper's
+/// workloads and the OpenQASM 2.0 `qelib1.inc` subset we parse need.
+#[derive(Copy, Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum GateKind {
+    /// Hadamard.
+    H,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Phase gate S = √Z.
+    S,
+    /// S-dagger.
+    Sdg,
+    /// T = ⁴√Z.
+    T,
+    /// T-dagger.
+    Tdg,
+    /// Rotation about X.
+    Rx(f64),
+    /// Rotation about Y.
+    Ry(f64),
+    /// Rotation about Z (also covers `u1`/`p` phase gates).
+    Rz(f64),
+    /// Generic single-qubit unitary `u3(theta, phi, lambda)`.
+    U(f64, f64, f64),
+    /// Controlled-X (CNOT).
+    Cx,
+    /// Controlled-Z.
+    Cz,
+    /// Controlled-phase `cp(lambda)` / `cu1(lambda)`.
+    Cp(f64),
+    /// SWAP.
+    Swap,
+    /// Computational-basis measurement.
+    Measure,
+}
+
+impl GateKind {
+    /// Number of qubits the gate acts on (1 or 2).
+    pub fn arity(self) -> usize {
+        match self {
+            GateKind::Cx | GateKind::Cz | GateKind::Cp(_) | GateKind::Swap => 2,
+            _ => 1,
+        }
+    }
+
+    /// `true` for two-qubit gate kinds.
+    pub fn is_two_qubit(self) -> bool {
+        self.arity() == 2
+    }
+
+    /// `true` for measurements.
+    pub fn is_measurement(self) -> bool {
+        matches!(self, GateKind::Measure)
+    }
+
+    /// The OpenQASM 2.0 (`qelib1.inc`) name of the gate.
+    pub fn qasm_name(self) -> &'static str {
+        match self {
+            GateKind::H => "h",
+            GateKind::X => "x",
+            GateKind::Y => "y",
+            GateKind::Z => "z",
+            GateKind::S => "s",
+            GateKind::Sdg => "sdg",
+            GateKind::T => "t",
+            GateKind::Tdg => "tdg",
+            GateKind::Rx(_) => "rx",
+            GateKind::Ry(_) => "ry",
+            GateKind::Rz(_) => "rz",
+            GateKind::U(..) => "u3",
+            GateKind::Cx => "cx",
+            GateKind::Cz => "cz",
+            GateKind::Cp(_) => "cu1",
+            GateKind::Swap => "swap",
+            GateKind::Measure => "measure",
+        }
+    }
+}
+
+/// One gate application: a [`GateKind`] plus its operand qubit(s).
+///
+/// Construct gates through the named constructors ([`Gate::h`],
+/// [`Gate::cx`], …) or through [`Gate::one`] / [`Gate::two`].
+///
+/// # Example
+///
+/// ```
+/// use cloudqc_circuit::{Gate, Qubit};
+///
+/// let g = Gate::cx(0, 1);
+/// assert!(g.kind().is_two_qubit());
+/// assert_eq!(g.qubits(), vec![Qubit::new(0), Qubit::new(1)]);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Gate {
+    kind: GateKind,
+    q0: Qubit,
+    q1: Option<Qubit>,
+}
+
+impl Gate {
+    /// A single-qubit gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is a two-qubit kind.
+    pub fn one(kind: GateKind, q: impl Into<Qubit>) -> Self {
+        assert!(!kind.is_two_qubit(), "{kind:?} needs two qubits");
+        Gate {
+            kind,
+            q0: q.into(),
+            q1: None,
+        }
+    }
+
+    /// A two-qubit gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is a single-qubit kind or the operands are equal.
+    pub fn two(kind: GateKind, a: impl Into<Qubit>, b: impl Into<Qubit>) -> Self {
+        assert!(kind.is_two_qubit(), "{kind:?} takes one qubit");
+        let (a, b) = (a.into(), b.into());
+        assert_ne!(a, b, "two-qubit gate operands must differ");
+        Gate {
+            kind,
+            q0: a,
+            q1: Some(b),
+        }
+    }
+
+    /// Hadamard on `q`.
+    pub fn h(q: impl Into<Qubit>) -> Self {
+        Gate::one(GateKind::H, q)
+    }
+
+    /// Pauli-X on `q`.
+    pub fn x(q: impl Into<Qubit>) -> Self {
+        Gate::one(GateKind::X, q)
+    }
+
+    /// Pauli-Y on `q`.
+    pub fn y(q: impl Into<Qubit>) -> Self {
+        Gate::one(GateKind::Y, q)
+    }
+
+    /// Pauli-Z on `q`.
+    pub fn z(q: impl Into<Qubit>) -> Self {
+        Gate::one(GateKind::Z, q)
+    }
+
+    /// S gate on `q`.
+    pub fn s(q: impl Into<Qubit>) -> Self {
+        Gate::one(GateKind::S, q)
+    }
+
+    /// S† on `q`.
+    pub fn sdg(q: impl Into<Qubit>) -> Self {
+        Gate::one(GateKind::Sdg, q)
+    }
+
+    /// T gate on `q`.
+    pub fn t(q: impl Into<Qubit>) -> Self {
+        Gate::one(GateKind::T, q)
+    }
+
+    /// T† on `q`.
+    pub fn tdg(q: impl Into<Qubit>) -> Self {
+        Gate::one(GateKind::Tdg, q)
+    }
+
+    /// X-rotation by `theta` on `q`.
+    pub fn rx(q: impl Into<Qubit>, theta: f64) -> Self {
+        Gate::one(GateKind::Rx(theta), q)
+    }
+
+    /// Y-rotation by `theta` on `q`.
+    pub fn ry(q: impl Into<Qubit>, theta: f64) -> Self {
+        Gate::one(GateKind::Ry(theta), q)
+    }
+
+    /// Z-rotation by `theta` on `q`.
+    pub fn rz(q: impl Into<Qubit>, theta: f64) -> Self {
+        Gate::one(GateKind::Rz(theta), q)
+    }
+
+    /// Generic `u3` on `q`.
+    pub fn u(q: impl Into<Qubit>, theta: f64, phi: f64, lambda: f64) -> Self {
+        Gate::one(GateKind::U(theta, phi, lambda), q)
+    }
+
+    /// CNOT with control `c` and target `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c == t`.
+    pub fn cx(c: impl Into<Qubit>, t: impl Into<Qubit>) -> Self {
+        Gate::two(GateKind::Cx, c, t)
+    }
+
+    /// Controlled-Z between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn cz(a: impl Into<Qubit>, b: impl Into<Qubit>) -> Self {
+        Gate::two(GateKind::Cz, a, b)
+    }
+
+    /// Controlled-phase between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn cp(a: impl Into<Qubit>, b: impl Into<Qubit>, lambda: f64) -> Self {
+        Gate::two(GateKind::Cp(lambda), a, b)
+    }
+
+    /// SWAP between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn swap(a: impl Into<Qubit>, b: impl Into<Qubit>) -> Self {
+        Gate::two(GateKind::Swap, a, b)
+    }
+
+    /// Measurement of `q`.
+    pub fn measure(q: impl Into<Qubit>) -> Self {
+        Gate::one(GateKind::Measure, q)
+    }
+
+    /// The gate's kind.
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// First operand (control for controlled gates).
+    pub fn qubit0(&self) -> Qubit {
+        self.q0
+    }
+
+    /// Second operand, if the gate is two-qubit.
+    pub fn qubit1(&self) -> Option<Qubit> {
+        self.q1
+    }
+
+    /// All operands, in order.
+    pub fn qubits(&self) -> Vec<Qubit> {
+        match self.q1 {
+            Some(q1) => vec![self.q0, q1],
+            None => vec![self.q0],
+        }
+    }
+
+    /// `true` for two-qubit gates.
+    pub fn is_two_qubit(&self) -> bool {
+        self.q1.is_some()
+    }
+
+    /// The operand pair of a two-qubit gate, or `None`.
+    pub fn qubit_pair(&self) -> Option<(Qubit, Qubit)> {
+        self.q1.map(|q1| (self.q0, q1))
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.q1 {
+            Some(q1) => write!(f, "{} {},{}", self.kind.qasm_name(), self.q0, q1),
+            None => write!(f, "{} {}", self.kind.qasm_name(), self.q0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_roundtrip() {
+        let q = Qubit::new(42);
+        assert_eq!(q.index(), 42);
+        assert_eq!(Qubit::from(42usize), q);
+    }
+
+    #[test]
+    fn arity_classification() {
+        assert_eq!(GateKind::H.arity(), 1);
+        assert_eq!(GateKind::Cx.arity(), 2);
+        assert_eq!(GateKind::Cp(1.0).arity(), 2);
+        assert!(GateKind::Swap.is_two_qubit());
+        assert!(!GateKind::Measure.is_two_qubit());
+        assert!(GateKind::Measure.is_measurement());
+    }
+
+    #[test]
+    fn constructors_build_expected_shapes() {
+        let g = Gate::cx(1, 2);
+        assert_eq!(g.kind(), GateKind::Cx);
+        assert_eq!(g.qubit_pair(), Some((Qubit::new(1), Qubit::new(2))));
+        let m = Gate::measure(0);
+        assert_eq!(m.qubits(), vec![Qubit::new(0)]);
+        assert_eq!(m.qubit_pair(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn equal_operands_rejected() {
+        Gate::cx(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs two qubits")]
+    fn one_with_two_qubit_kind_rejected() {
+        Gate::one(GateKind::Cx, 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Gate::h(0).to_string(), "h q[0]");
+        assert_eq!(Gate::cx(0, 1).to_string(), "cx q[0],q[1]");
+    }
+}

@@ -1,0 +1,106 @@
+//! Bernstein–Vazirani circuits.
+//!
+//! Interaction pattern: a star into the ancilla — every CX targets the
+//! last qubit, so any partition that separates the ancilla from data
+//! qubits pays for it.
+
+use crate::circuit::Circuit;
+
+/// Bernstein–Vazirani over `n` qubits (`n-1` data + 1 ancilla) with a
+/// secret string of `ones` set bits spread evenly across the data
+/// qubits.
+///
+/// Characteristics: `ones` two-qubit gates, depth ≈ `ones + 4`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `ones > n - 1`.
+pub fn bv_with_secret(n: usize, ones: usize) -> Circuit {
+    assert!(n >= 2, "BV needs at least 2 qubits");
+    assert!(ones < n, "secret has more bits than data qubits");
+    let mut c = Circuit::new(n).with_name(format!("bv_n{n}"));
+    let ancilla = n - 1;
+    let data = n - 1;
+    // |1> on the ancilla, then H everywhere.
+    c.x(ancilla);
+    for q in 0..n {
+        c.h(q);
+    }
+    // Oracle: CX from each secret-bit data qubit into the ancilla.
+    // Spread the `ones` positions evenly so the star structure is
+    // uniform.
+    for k in 0..ones {
+        let q = k * data / ones.max(1);
+        c.cx(q, ancilla);
+    }
+    for q in 0..data {
+        c.h(q);
+    }
+    for q in 0..data {
+        c.measure(q);
+    }
+    c
+}
+
+/// The paper's BV instances use a secret with `n/2 + 1` set bits
+/// (`bv_n70` → 36 two-qubit gates, matching Table II; `bv_n140` → 71
+/// vs. the paper's 72 — within one gate of the unpublished secret).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn bv(n: usize) -> Circuit {
+    bv_with_secret(n, (n / 2 + 1).min(n - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interaction::interaction_graph;
+    use crate::stats::CircuitStats;
+
+    #[test]
+    fn bv_n70_matches_table2() {
+        let s = CircuitStats::of(&bv(70));
+        assert_eq!(s.qubits, 70);
+        assert_eq!(s.two_qubit_gates, 36);
+        assert!(s.depth >= 38 && s.depth <= 42, "depth {}", s.depth);
+    }
+
+    #[test]
+    fn bv_n140_close_to_table2() {
+        let s = CircuitStats::of(&bv(140));
+        assert_eq!(s.qubits, 140);
+        assert_eq!(s.two_qubit_gates, 71); // paper: 72 (unpublished secret)
+    }
+
+    #[test]
+    fn interaction_graph_is_a_star() {
+        let c = bv_with_secret(10, 5);
+        let g = interaction_graph(&c);
+        assert_eq!(g.degree(9), 5); // ancilla
+        for q in 0..9 {
+            assert!(g.degree(q) <= 1);
+        }
+    }
+
+    #[test]
+    fn zero_ones_gives_no_two_qubit_gates() {
+        assert_eq!(bv_with_secret(8, 0).two_qubit_gate_count(), 0);
+    }
+
+    #[test]
+    fn secret_positions_are_distinct() {
+        let c = bv_with_secret(20, 10);
+        assert_eq!(c.two_qubit_gate_count(), 10);
+        let g = interaction_graph(&c);
+        // 10 distinct data qubits each with one edge to the ancilla.
+        assert_eq!(g.edge_count(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "more bits")]
+    fn too_many_ones_rejected() {
+        bv_with_secret(4, 4);
+    }
+}

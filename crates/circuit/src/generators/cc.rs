@@ -1,0 +1,74 @@
+//! Counterfeit-coin finding circuits.
+//!
+//! Interaction pattern: a pure star — every coin qubit queries the one
+//! ancilla, serializing through it (hence the unusually high depth for
+//! so few gates in Table II).
+
+use crate::circuit::Circuit;
+
+/// The counterfeit-coin finding kernel over `n-1` coin qubits and one
+/// oracle ancilla: superposition over query subsets, an oracle round of
+/// CX from every coin into the ancilla, basis restoration, coin
+/// measurement, and one confirmation query.
+///
+/// Characteristics: `n` two-qubit gates on `n` qubits (`cc_n64` → 64,
+/// matching Table II).
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cc(n: usize) -> Circuit {
+    assert!(n >= 3, "counterfeit-coin needs at least 2 coins + ancilla");
+    let mut c = Circuit::new(n).with_name(format!("cc_n{n}"));
+    let ancilla = n - 1;
+    let coins = n - 1;
+    for q in 0..coins {
+        c.h(q);
+    }
+    c.x(ancilla);
+    c.h(ancilla);
+    // Oracle: balance query touches every coin.
+    for q in 0..coins {
+        c.cx(q, ancilla);
+    }
+    for q in 0..coins {
+        c.h(q);
+    }
+    for q in 0..coins {
+        c.measure(q);
+    }
+    // Confirmation query against the suspect coin.
+    c.h(0);
+    c.cx(0, ancilla);
+    c.h(0);
+    c.measure(0);
+    c.measure(ancilla);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interaction::interaction_graph;
+    use crate::stats::CircuitStats;
+
+    #[test]
+    fn cc_n64_matches_table2() {
+        let s = CircuitStats::of(&cc(64));
+        assert_eq!(s.qubits, 64);
+        assert_eq!(s.two_qubit_gates, 64);
+    }
+
+    #[test]
+    fn star_interaction_pattern() {
+        let g = interaction_graph(&cc(10));
+        assert_eq!(g.degree(9), 9); // ancilla touches every coin
+        assert_eq!(g.edge_weight(0, 9), Some(2.0)); // confirmation query
+    }
+
+    #[test]
+    fn depth_serializes_through_ancilla() {
+        // All CX share the ancilla, so depth grows with n.
+        assert!(cc(32).depth() > cc(8).depth());
+    }
+}

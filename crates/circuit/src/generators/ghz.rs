@@ -1,0 +1,84 @@
+//! GHZ and cat-state circuits: a Hadamard followed by a CX chain.
+//!
+//! Interaction pattern: a path — the lightest possible distributed
+//! workload (`ghz_n127`: 126 two-qubit gates, depth 128 with the final
+//! measurement layer, exactly matching Table II).
+
+use crate::circuit::Circuit;
+
+/// An `n`-qubit GHZ state preparation with final measurement:
+/// `H(0); CX(0,1); …; CX(n-2,n-1); measure all`.
+///
+/// Characteristics: `n-1` two-qubit gates, depth `n+1`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn ghz(n: usize) -> Circuit {
+    assert!(n >= 2, "GHZ needs at least 2 qubits");
+    let mut c = Circuit::new(n).with_name(format!("ghz_n{n}"));
+    c.h(0);
+    for i in 0..n - 1 {
+        c.cx(i, i + 1);
+    }
+    c.measure_all();
+    c
+}
+
+/// An `n`-qubit cat state: structurally identical to [`ghz`] (QASMBench
+/// ships both under different names; Table II confirms identical
+/// characteristics modulo size).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn cat(n: usize) -> Circuit {
+    assert!(n >= 2, "cat state needs at least 2 qubits");
+    let mut c = ghz(n);
+    c = std::mem::take(&mut c).with_name(format!("cat_n{n}"));
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interaction::interaction_graph;
+    use crate::stats::CircuitStats;
+
+    #[test]
+    fn ghz_n127_matches_table2() {
+        let s = CircuitStats::of(&ghz(127));
+        assert_eq!(s.qubits, 127);
+        assert_eq!(s.two_qubit_gates, 126);
+        assert_eq!(s.depth, 128);
+    }
+
+    #[test]
+    fn cat_n65_and_n130_match_table2() {
+        let s65 = CircuitStats::of(&cat(65));
+        assert_eq!((s65.qubits, s65.two_qubit_gates, s65.depth), (65, 64, 66));
+        let s130 = CircuitStats::of(&cat(130));
+        assert_eq!((s130.qubits, s130.two_qubit_gates, s130.depth), (130, 129, 131));
+    }
+
+    #[test]
+    fn interaction_graph_is_a_path() {
+        let g = interaction_graph(&ghz(10));
+        assert_eq!(g.edge_count(), 9);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(5), 2);
+        assert_eq!(g.degree(9), 1);
+    }
+
+    #[test]
+    fn minimum_size() {
+        let c = ghz(2);
+        assert_eq!(c.two_qubit_gate_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_single_qubit() {
+        ghz(1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Quantum k-nearest-neighbour circuits.
+//!
+//! QASMBench's KNN kernel is a swap-test-based similarity measurement
+//! between a test register and a training register; the gate budget is
+//! identical to a swap test plus amplitude-encoding rotations.
+
+use crate::circuit::Circuit;
+
+/// A KNN similarity kernel over two `m`-qubit registers plus one ancilla
+/// (`n = 2m + 1`): RY/RZ amplitude encoding on both registers, then a
+/// swap test (`m` controlled-SWAPs, 8 CX each).
+///
+/// Characteristics: `8m` two-qubit gates (`knn_n67`: m = 33 → 264;
+/// `knn_n129`: m = 64 → 512; both matching Table II).
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn knn(m: usize) -> Circuit {
+    assert!(m > 0, "KNN needs at least one register qubit");
+    let n = 2 * m + 1;
+    let mut c = Circuit::new(n).with_name(format!("knn_n{n}"));
+    // Amplitude encoding: one RY+RZ per register qubit.
+    for i in 0..m {
+        let (a, b) = (1 + i, 1 + m + i);
+        c.ry(a, 0.2 + 0.03 * i as f64);
+        c.rz(a, 0.1);
+        c.ry(b, 1.1 - 0.02 * i as f64);
+        c.rz(b, -0.1);
+    }
+    c.h(0);
+    for i in 0..m {
+        c.cswap_decomposed(0, 1 + i, 1 + m + i);
+    }
+    c.h(0);
+    c.measure(0);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::CircuitStats;
+
+    #[test]
+    fn knn_n67_matches_table2() {
+        let s = CircuitStats::of(&knn(33));
+        assert_eq!(s.qubits, 67);
+        assert_eq!(s.two_qubit_gates, 264);
+    }
+
+    #[test]
+    fn knn_n129_matches_table2() {
+        let s = CircuitStats::of(&knn(64));
+        assert_eq!(s.qubits, 129);
+        assert_eq!(s.two_qubit_gates, 512);
+    }
+
+    #[test]
+    fn depth_grows_linearly_with_m() {
+        // Sequential cswaps through one ancilla serialize.
+        assert!(knn(8).depth() > knn(4).depth());
+    }
+}

@@ -1,0 +1,90 @@
+//! Quantum GAN circuits (generator + discriminator ansatz + swap test).
+//!
+//! Interaction pattern: two internally-chained registers coupled through
+//! the ancilla by a swap test — partition-friendly inside registers,
+//! expensive across them.
+
+use crate::circuit::Circuit;
+
+/// Number of variational layers in each register's ansatz.
+const LAYERS: usize = 2;
+
+/// A QuGAN training step over a generator and a discriminator register
+/// of `m` qubits each plus one swap-test ancilla (`n = 2m + 1`):
+/// `LAYERS` rounds of (RY rotations + CX entangler chain) per register,
+/// an ancilla-register coupling pair, then a full swap test.
+///
+/// Characteristics: `2·LAYERS·(m-1) + 2 + 8m` two-qubit gates
+/// (`qugan_n71`: m = 35 → 418; `qugan_n111`: m = 55 → 658; both
+/// matching Table II exactly).
+///
+/// # Panics
+///
+/// Panics if `m < 2`.
+pub fn qugan(m: usize) -> Circuit {
+    assert!(m >= 2, "QuGAN registers need at least 2 qubits");
+    let n = 2 * m + 1;
+    let mut c = Circuit::new(n).with_name(format!("qugan_n{n}"));
+    let reg_a = 1;
+    let reg_b = 1 + m;
+    // Variational ansatz per register: RY layer + CX chain, repeated.
+    for layer in 0..LAYERS {
+        for base in [reg_a, reg_b] {
+            for i in 0..m {
+                c.ry(base + i, 0.4 + 0.1 * layer as f64 + 0.01 * i as f64);
+            }
+            for i in 0..m - 1 {
+                c.cx(base + i, base + i + 1);
+            }
+        }
+    }
+    // Couple the ancilla to both registers (the +2 gates that complete
+    // the Table II calibration: 418 = 2·2·34 + 2 + 280 for m = 35).
+    c.h(0);
+    c.cx(0, reg_a);
+    c.cx(0, reg_b);
+    // Swap test between the registers.
+    for i in 0..m {
+        c.cswap_decomposed(0, reg_a + i, reg_b + i);
+    }
+    c.h(0);
+    c.measure(0);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interaction::interaction_graph;
+    use crate::stats::CircuitStats;
+
+    #[test]
+    fn qugan_n71_matches_table2() {
+        let s = CircuitStats::of(&qugan(35));
+        assert_eq!(s.qubits, 71);
+        assert_eq!(s.two_qubit_gates, 418);
+    }
+
+    #[test]
+    fn qugan_n111_matches_table2() {
+        let s = CircuitStats::of(&qugan(55));
+        assert_eq!(s.qubits, 111);
+        assert_eq!(s.two_qubit_gates, 658);
+    }
+
+    #[test]
+    fn qugan_n39_shape() {
+        let s = CircuitStats::of(&qugan(19));
+        assert_eq!(s.qubits, 39);
+        assert_eq!(s.two_qubit_gates, 2 * LAYERS * 18 + 2 + 8 * 19);
+    }
+
+    #[test]
+    fn registers_are_internally_chained() {
+        let g = interaction_graph(&qugan(6));
+        for i in 0..5 {
+            assert!(g.has_edge(1 + i, 1 + i + 1), "generator chain {i}");
+            assert!(g.has_edge(7 + i, 7 + i + 1), "discriminator chain {i}");
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Quantum Volume circuits.
+//!
+//! Interaction pattern: random — each layer pairs qubits under a fresh
+//! permutation, so the interaction graph approaches a dense random
+//! graph. The hardest workload for community-structure exploitation.
+
+use crate::circuit::Circuit;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// A Quantum Volume model circuit: `depth` layers, each applying a
+/// random permutation and an SU(4) block (3 CX + single-qubit
+/// rotations, the KAK form) on every adjacent pair.
+///
+/// Deterministic for a fixed `seed`.
+///
+/// Characteristics: `depth · ⌊n/2⌋ · 3` two-qubit gates (`qv_n100` with
+/// square depth 100 → 15000, matching Table II).
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `depth == 0`.
+pub fn qv_with_depth(n: usize, depth: usize, seed: u64) -> Circuit {
+    assert!(n >= 2, "QV needs at least 2 qubits");
+    assert!(depth > 0, "QV needs at least one layer");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n).with_name(format!("qv_n{n}"));
+    let mut order: Vec<usize> = (0..n).collect();
+    for _ in 0..depth {
+        order.shuffle(&mut rng);
+        for pair in order.chunks_exact(2) {
+            su4_block(&mut c, pair[0], pair[1], &mut rng);
+        }
+    }
+    c.measure_all();
+    c
+}
+
+/// Square QV circuit (`depth = n`), the standard benchmark shape.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn qv(n: usize) -> Circuit {
+    qv_with_depth(n, n, 0x5176 ^ n as u64)
+}
+
+/// KAK-form SU(4): rotations, CX, rotations, CX, rotations, CX,
+/// rotations — 3 two-qubit gates per pair per layer.
+fn su4_block(c: &mut Circuit, a: usize, b: usize, rng: &mut StdRng) {
+    let mut angle = || rng.random_range(-std::f64::consts::PI..std::f64::consts::PI);
+    c.rz(a, angle());
+    c.ry(a, angle());
+    c.rz(b, angle());
+    c.ry(b, angle());
+    c.cx(a, b);
+    c.ry(a, angle());
+    c.rz(b, angle());
+    c.cx(a, b);
+    c.ry(b, angle());
+    c.cx(a, b);
+    c.rz(a, angle());
+    c.ry(b, angle());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interaction::interaction_graph;
+    use crate::stats::CircuitStats;
+
+    #[test]
+    fn qv_n100_matches_table2() {
+        let s = CircuitStats::of(&qv(100));
+        assert_eq!(s.qubits, 100);
+        assert_eq!(s.two_qubit_gates, 15000);
+        // Paper: depth 701. KAK layers stack to ~7 per round.
+        assert!(s.depth > 400 && s.depth < 1000, "depth {}", s.depth);
+    }
+
+    #[test]
+    fn odd_width_leaves_one_idle_per_layer() {
+        let c = qv_with_depth(5, 4, 1);
+        assert_eq!(c.two_qubit_gate_count(), 4 * 2 * 3);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = qv_with_depth(10, 10, 7);
+        let b = qv_with_depth(10, 10, 7);
+        assert_eq!(a.gates().len(), b.gates().len());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn interaction_graph_is_dense() {
+        let g = interaction_graph(&qv(16));
+        // 16 layers × 8 pairs: far more pair slots than the 120 possible
+        // pairs, so the graph should be well connected.
+        assert!(g.edge_count() > 60, "edges {}", g.edge_count());
+    }
+}

@@ -1,0 +1,71 @@
+//! Swap-test circuits: fidelity estimation between two registers.
+//!
+//! Interaction pattern: every controlled-SWAP couples the single ancilla
+//! with one qubit from each register — a hub-heavy structure that is
+//! hard to partition cheaply.
+
+use crate::circuit::Circuit;
+
+/// A swap test over two `m`-qubit registers plus one ancilla
+/// (`n = 2m + 1` qubits): `H` on the ancilla, `m` controlled-SWAPs
+/// (each decomposed into 8 CX), `H`, measure ancilla. Light `RY` state
+/// preparation on both registers keeps the circuit non-trivial.
+///
+/// Characteristics: `8m` two-qubit gates (`swap_test_n115`: m = 57 →
+/// 456, matching Table II).
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn swap_test(m: usize) -> Circuit {
+    assert!(m > 0, "swap test needs at least one register qubit");
+    let n = 2 * m + 1;
+    let mut c = Circuit::new(n).with_name(format!("swap_test_n{n}"));
+    // Register A: 1..=m, register B: m+1..=2m, ancilla: 0.
+    for i in 0..m {
+        c.ry(1 + i, 0.3 + 0.01 * i as f64);
+        c.ry(1 + m + i, 0.7 + 0.01 * i as f64);
+    }
+    c.h(0);
+    for i in 0..m {
+        c.cswap_decomposed(0, 1 + i, 1 + m + i);
+    }
+    c.h(0);
+    c.measure(0);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interaction::interaction_graph;
+    use crate::stats::CircuitStats;
+
+    #[test]
+    fn swap_test_n115_matches_table2() {
+        let s = CircuitStats::of(&swap_test(57));
+        assert_eq!(s.qubits, 115);
+        assert_eq!(s.two_qubit_gates, 456);
+    }
+
+    #[test]
+    fn ancilla_is_the_hub() {
+        let g = interaction_graph(&swap_test(5));
+        // The ancilla participates in every cswap.
+        assert!(g.weighted_degree(0) >= 5.0);
+    }
+
+    #[test]
+    fn pairs_are_register_aligned() {
+        let g = interaction_graph(&swap_test(4));
+        // Each cswap couples A_i with B_i.
+        for i in 0..4 {
+            assert!(g.has_edge(1 + i, 1 + 4 + i), "pair {i}");
+        }
+    }
+
+    #[test]
+    fn single_pair() {
+        assert_eq!(swap_test(1).two_qubit_gate_count(), 8);
+    }
+}

@@ -1,0 +1,118 @@
+//! Qubit interaction graphs.
+//!
+//! "The interaction graph is a weighted graph where the vertices are
+//! qubits of the circuit and the edge denotes the interaction of two
+//! qubits, the weight describes how many 2-qubit gates two qubits have"
+//! (paper §V.B). This is the `D_ij` matrix of the placement objective
+//! (Eq. 1) in graph form, and the input to graph partitioning.
+
+use crate::circuit::Circuit;
+use cloudqc_graph::Graph;
+
+/// Builds the weighted interaction graph of a circuit: one node per
+/// qubit, edge weight = number of two-qubit gates between the pair.
+///
+/// # Example
+///
+/// ```
+/// use cloudqc_circuit::{Circuit, interaction::interaction_graph};
+///
+/// let mut c = Circuit::new(3);
+/// c.cx(0, 1).cx(0, 1).cx(1, 2);
+/// let g = interaction_graph(&c);
+/// assert_eq!(g.edge_weight(0, 1), Some(2.0));
+/// assert_eq!(g.edge_weight(1, 2), Some(1.0));
+/// assert_eq!(g.edge_weight(0, 2), None);
+/// ```
+pub fn interaction_graph(circuit: &Circuit) -> Graph {
+    let mut g = Graph::new(circuit.num_qubits());
+    for (_, a, b) in circuit.two_qubit_gates() {
+        g.add_edge(a.index(), b.index(), 1.0);
+    }
+    g
+}
+
+/// The interaction weight `D_ij` between two *partitions* of qubits:
+/// builds the partition-level interaction graph whose node `p` stands
+/// for part `p` and whose edge weight counts two-qubit gates crossing
+/// the pair of parts.
+///
+/// `assignment[q]` is the part of qubit `q`; `parts` the part count.
+/// Used by Algorithm 2 to map the partition interaction graph's center
+/// onto the QPU community's center.
+///
+/// # Panics
+///
+/// Panics if `assignment.len() != circuit.num_qubits()` or a part index
+/// is `>= parts`.
+pub fn partition_interaction_graph(
+    circuit: &Circuit,
+    assignment: &[usize],
+    parts: usize,
+) -> Graph {
+    assert_eq!(
+        assignment.len(),
+        circuit.num_qubits(),
+        "assignment length mismatch"
+    );
+    let mut g = Graph::new(parts);
+    for (_, a, b) in circuit.two_qubit_gates() {
+        let (pa, pb) = (assignment[a.index()], assignment[b.index()]);
+        assert!(pa < parts && pb < parts, "part index out of range");
+        if pa != pb {
+            g.add_edge(pa, pb, 1.0);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interaction_graph_accumulates_weights() {
+        let mut c = Circuit::new(4);
+        c.h(0); // single-qubit gates do not contribute
+        c.cx(0, 1).cx(1, 0).cz(2, 3);
+        let g = interaction_graph(&c);
+        assert_eq!(g.edge_weight(0, 1), Some(2.0));
+        assert_eq!(g.edge_weight(2, 3), Some(1.0));
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn interaction_graph_isolated_qubits() {
+        let mut c = Circuit::new(5);
+        c.cx(0, 1);
+        let g = interaction_graph(&c);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.degree(4), 0);
+    }
+
+    #[test]
+    fn partition_graph_counts_cross_gates() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1).cx(1, 2).cx(2, 3).cx(0, 3);
+        // Parts: {0,1} and {2,3}.
+        let g = partition_interaction_graph(&c, &[0, 0, 1, 1], 2);
+        assert_eq!(g.node_count(), 2);
+        // Crossing gates: (1,2) and (0,3).
+        assert_eq!(g.edge_weight(0, 1), Some(2.0));
+    }
+
+    #[test]
+    fn partition_graph_no_self_edges() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let g = partition_interaction_graph(&c, &[0, 0], 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn partition_graph_validates_length() {
+        let c = Circuit::new(3);
+        partition_interaction_graph(&c, &[0, 1], 2);
+    }
+}

@@ -1,0 +1,46 @@
+//! Quantum circuit substrate for the CloudQC reproduction.
+//!
+//! The paper's framework consumes circuits at the gate level: it needs
+//! the *interaction graph* (how often each qubit pair interacts — the
+//! `D_ij` matrix of §IV.B), the *gate dependency DAG* (which gates must
+//! wait for which — §V.B "Preprocessing"), and basic characteristics
+//! (qubit count, two-qubit gate count, depth — Table II). This crate
+//! provides:
+//!
+//! * [`Circuit`] / [`Gate`] — a validated gate-level IR.
+//! * [`dag`] — gate dependency DAGs and front-layer tracking.
+//! * [`interaction`] — weighted qubit interaction graphs.
+//! * [`stats`] — Table II circuit characteristics.
+//! * [`qasm`] — an OpenQASM 2.0 subset parser and writer (standing in
+//!   for PytKet, which the paper used to analyze QASMBench files).
+//! * [`generators`] — programmatic constructions of every QASMBench
+//!   workload family the paper evaluates (GHZ, cat, BV, Ising,
+//!   swap-test, KNN, QuGAN, CC, adder, multiplier, QFT, QV, VQE-UCCSD),
+//!   with a [`generators::catalog`] mapping the paper's instance names
+//!   (`qft_n160`, `qugan_n111`, …) to calibrated constructions.
+//!
+//! # Example
+//!
+//! ```
+//! use cloudqc_circuit::{generators::catalog, interaction::interaction_graph};
+//!
+//! let circuit = catalog::by_name("ghz_n127").unwrap();
+//! assert_eq!(circuit.num_qubits(), 127);
+//! assert_eq!(circuit.two_qubit_gate_count(), 126);
+//! let ig = interaction_graph(&circuit);
+//! assert_eq!(ig.node_count(), 127); // one node per qubit
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod dag;
+pub mod gate;
+pub mod generators;
+pub mod interaction;
+pub mod qasm;
+pub mod stats;
+
+pub use circuit::{Circuit, CircuitError};
+pub use gate::{Gate, GateKind, Qubit};

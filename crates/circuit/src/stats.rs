@@ -1,0 +1,79 @@
+//! Circuit characteristics (the paper's Table II metrics).
+
+use crate::circuit::Circuit;
+use std::fmt;
+
+/// The characteristics Table II reports for each benchmark circuit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CircuitStats {
+    /// Circuit name.
+    pub name: String,
+    /// Number of qubits.
+    pub qubits: usize,
+    /// Number of two-qubit gates.
+    pub two_qubit_gates: usize,
+    /// Circuit depth (layers, measurements included).
+    pub depth: usize,
+    /// Total gate count (all gates and measurements).
+    pub total_gates: usize,
+}
+
+impl CircuitStats {
+    /// Computes the statistics of a circuit.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cloudqc_circuit::{Circuit, stats::CircuitStats};
+    ///
+    /// let mut c = Circuit::new(2).with_name("bell");
+    /// c.h(0).cx(0, 1).measure_all();
+    /// let s = CircuitStats::of(&c);
+    /// assert_eq!(s.qubits, 2);
+    /// assert_eq!(s.two_qubit_gates, 1);
+    /// assert_eq!(s.depth, 3);
+    /// ```
+    pub fn of(circuit: &Circuit) -> Self {
+        CircuitStats {
+            name: circuit.name().to_owned(),
+            qubits: circuit.num_qubits(),
+            two_qubit_gates: circuit.two_qubit_gate_count(),
+            depth: circuit.depth(),
+            total_gates: circuit.gate_count(),
+        }
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} qubits, {} two-qubit gates, depth {}",
+            self.name, self.qubits, self.two_qubit_gates, self.depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_empty_circuit() {
+        let s = CircuitStats::of(&Circuit::new(4).with_name("empty"));
+        assert_eq!(s.qubits, 4);
+        assert_eq!(s.two_qubit_gates, 0);
+        assert_eq!(s.depth, 0);
+        assert_eq!(s.total_gates, 0);
+        assert_eq!(s.name, "empty");
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let mut c = Circuit::new(2).with_name("x");
+        c.cx(0, 1);
+        let text = CircuitStats::of(&c).to_string();
+        assert!(text.contains("2 qubits"));
+        assert!(text.contains("1 two-qubit"));
+    }
+}

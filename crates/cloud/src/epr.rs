@@ -1,0 +1,197 @@
+//! Probabilistic EPR-pair generation (paper §III, §IV.C).
+//!
+//! "Another property of EPR pair generation is that its success is
+//! probabilistic. A failed EPR generation also consumes communication
+//! qubits." Allocating `x` communication-qubit pairs to a remote gate
+//! lets `x` generation attempts run in parallel per round; the round
+//! succeeds if any attempt does.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// The EPR generation model: per-attempt success probability `p`.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct EprModel {
+    success_prob: f64,
+}
+
+impl EprModel {
+    /// A model with per-attempt success probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `(0, 1]`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "EPR success probability must be in (0, 1]");
+        EprModel { success_prob: p }
+    }
+
+    /// Per-attempt success probability.
+    pub fn success_prob(&self) -> f64 {
+        self.success_prob
+    }
+
+    /// Probability that a round with `pairs` parallel attempts succeeds:
+    /// `1 - (1-p)^pairs`. Zero pairs always fail.
+    pub fn round_success_prob(&self, pairs: usize) -> f64 {
+        self.round_success_prob_with_quality(pairs, 1.0)
+    }
+
+    /// Round success probability over a link of the given *quality*
+    /// (per-link reliability factor in `(0, 1]`, see the cloud model's
+    /// link-reliability extension): `1 - (1 - p·quality)^pairs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quality` is outside `(0, 1]`.
+    pub fn round_success_prob_with_quality(&self, pairs: usize, quality: f64) -> f64 {
+        assert!(
+            quality > 0.0 && quality <= 1.0,
+            "link quality must be in (0, 1]"
+        );
+        if pairs == 0 {
+            return 0.0;
+        }
+        1.0 - (1.0 - self.success_prob * quality).powi(pairs as i32)
+    }
+
+    /// Samples whether one round with `pairs` parallel attempts succeeds.
+    pub fn sample_round(&self, pairs: usize, rng: &mut StdRng) -> bool {
+        let p = self.round_success_prob(pairs);
+        p > 0.0 && rng.random_bool(p)
+    }
+
+    /// Samples one round over a link of the given quality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quality` is outside `(0, 1]`.
+    pub fn sample_round_with_quality(
+        &self,
+        pairs: usize,
+        quality: f64,
+        rng: &mut StdRng,
+    ) -> bool {
+        let p = self.round_success_prob_with_quality(pairs, quality);
+        p > 0.0 && rng.random_bool(p)
+    }
+
+    /// Samples the number of rounds needed for one link-level EPR pair
+    /// with `pairs` parallel attempts per round (geometric distribution,
+    /// support `1..`). Capped at `max_rounds` to bound pathological
+    /// tails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs == 0` or `max_rounds == 0`.
+    pub fn sample_rounds(&self, pairs: usize, max_rounds: u64, rng: &mut StdRng) -> u64 {
+        assert!(pairs > 0, "cannot generate EPR pairs with zero attempts");
+        assert!(max_rounds > 0, "max_rounds must be positive");
+        let mut rounds = 1;
+        while rounds < max_rounds && !self.sample_round(pairs, rng) {
+            rounds += 1;
+        }
+        rounds
+    }
+
+    /// Expected rounds until success with `pairs` parallel attempts:
+    /// `1 / (1 - (1-p)^pairs)`. Used by the placement time estimator.
+    ///
+    /// Returns `f64::INFINITY` for zero pairs.
+    pub fn expected_rounds(&self, pairs: usize) -> f64 {
+        let p = self.round_success_prob(pairs);
+        if p == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / p
+        }
+    }
+}
+
+impl Default for EprModel {
+    /// The paper's evaluation default: `p = 0.3` (§VI.A, consistent with
+    /// the NV-center experiments it cites).
+    fn default() -> Self {
+        EprModel::new(0.3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_probability_formula() {
+        let m = EprModel::new(0.3);
+        assert_eq!(m.round_success_prob(0), 0.0);
+        assert!((m.round_success_prob(1) - 0.3).abs() < 1e-12);
+        assert!((m.round_success_prob(2) - 0.51).abs() < 1e-12);
+        assert!((m.round_success_prob(5) - (1.0 - 0.7f64.powi(5))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_pairs_help() {
+        let m = EprModel::default();
+        for x in 1..10 {
+            assert!(m.round_success_prob(x + 1) > m.round_success_prob(x));
+            assert!(m.expected_rounds(x + 1) < m.expected_rounds(x));
+        }
+    }
+
+    #[test]
+    fn expected_rounds_matches_empirical_mean() {
+        let m = EprModel::new(0.3);
+        let mut rng = StdRng::seed_from_u64(7);
+        let trials = 20_000;
+        let total: u64 = (0..trials).map(|_| m.sample_rounds(2, 1_000, &mut rng)).sum();
+        let mean = total as f64 / trials as f64;
+        let expected = m.expected_rounds(2);
+        assert!(
+            (mean - expected).abs() < 0.05 * expected,
+            "mean {mean}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn certain_success_is_one_round() {
+        let m = EprModel::new(1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(m.sample_rounds(1, 100, &mut rng), 1);
+        assert_eq!(m.expected_rounds(1), 1.0);
+    }
+
+    #[test]
+    fn cap_bounds_rounds() {
+        let m = EprModel::new(0.001);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert!(m.sample_rounds(1, 5, &mut rng) <= 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0, 1]")]
+    fn zero_probability_rejected() {
+        EprModel::new(0.0);
+    }
+
+    #[test]
+    fn quality_degrades_success() {
+        let m = EprModel::new(0.3);
+        assert!(m.round_success_prob_with_quality(2, 0.5) < m.round_success_prob(2));
+        assert_eq!(m.round_success_prob_with_quality(2, 1.0), m.round_success_prob(2));
+        // Quality 0.5 behaves like halved per-attempt probability.
+        let halved = EprModel::new(0.15);
+        assert!(
+            (m.round_success_prob_with_quality(3, 0.5) - halved.round_success_prob(3)).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "link quality")]
+    fn bad_quality_rejected() {
+        EprModel::default().round_success_prob_with_quality(1, 1.5);
+    }
+}

@@ -1,0 +1,109 @@
+//! The operation latency model (paper Table I).
+//!
+//! The paper expresses latencies relative to one CX gate: single-qubit
+//! gates ≈ 0.1 CX, measurement ≈ 5 CX, one EPR preparation attempt ≈
+//! 10 CX. To keep the discrete-event simulator in exact integer
+//! arithmetic we define **1 CX = 10 ticks**.
+
+/// Latencies in integer ticks (1 CX-unit = [`LatencyModel::TICKS_PER_CX`]
+/// ticks).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct LatencyModel {
+    single_qubit: u64,
+    two_qubit: u64,
+    measure: u64,
+    epr_attempt: u64,
+}
+
+impl LatencyModel {
+    /// Ticks per CX-unit (the paper's latency tables are in CX units).
+    pub const TICKS_PER_CX: u64 = 10;
+
+    /// Builds a custom latency model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any latency is zero (zero-duration operations break
+    /// event ordering).
+    pub fn new(single_qubit: u64, two_qubit: u64, measure: u64, epr_attempt: u64) -> Self {
+        assert!(
+            single_qubit > 0 && two_qubit > 0 && measure > 0 && epr_attempt > 0,
+            "latencies must be positive"
+        );
+        LatencyModel {
+            single_qubit,
+            two_qubit,
+            measure,
+            epr_attempt,
+        }
+    }
+
+    /// Latency of a single-qubit gate, in ticks (Table I: 0.1 CX).
+    pub fn single_qubit(&self) -> u64 {
+        self.single_qubit
+    }
+
+    /// Latency of a CX/CZ gate, in ticks (Table I: 1 CX).
+    pub fn two_qubit(&self) -> u64 {
+        self.two_qubit
+    }
+
+    /// Latency of a measurement, in ticks (Table I: 5 CX).
+    pub fn measure(&self) -> u64 {
+        self.measure
+    }
+
+    /// Latency of one EPR preparation attempt, in ticks (Table I: 10 CX).
+    pub fn epr_attempt(&self) -> u64 {
+        self.epr_attempt
+    }
+
+    /// Total latency of executing a remote gate once its EPR pair is
+    /// ready: the local two-qubit gate plus the measurement and
+    /// classical correction of the cat-entangler protocol (§III "Models
+    /// for local gates and remote gates").
+    pub fn remote_gate_completion(&self) -> u64 {
+        self.two_qubit + self.measure + self.single_qubit
+    }
+}
+
+impl Default for LatencyModel {
+    /// Table I defaults: `t1q = 1`, `t2q = 10`, `measure = 50`,
+    /// `EPR attempt = 100` ticks.
+    fn default() -> Self {
+        LatencyModel::new(
+            1,
+            Self::TICKS_PER_CX,
+            5 * Self::TICKS_PER_CX,
+            10 * Self::TICKS_PER_CX,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table1_ratios() {
+        let m = LatencyModel::default();
+        // Single-qubit ~ 0.1 CX, measure ~ 5 CX, EPR ~ 10 CX.
+        assert_eq!(m.two_qubit() / m.single_qubit(), 10);
+        assert_eq!(m.measure() / m.two_qubit(), 5);
+        assert_eq!(m.epr_attempt() / m.two_qubit(), 10);
+    }
+
+    #[test]
+    fn remote_gate_is_much_slower_than_local() {
+        let m = LatencyModel::default();
+        // One EPR attempt + completion dwarfs a local CX — the premise of
+        // the whole paper.
+        assert!(m.epr_attempt() + m.remote_gate_completion() > 15 * m.two_qubit());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_latency_rejected() {
+        LatencyModel::new(0, 1, 1, 1);
+    }
+}

@@ -1,0 +1,117 @@
+//! QPU identifiers and per-QPU resource capacities.
+
+use std::fmt;
+
+/// Identifier of a QPU within a [`crate::Cloud`] (dense `0..qpu_count`).
+///
+/// # Example
+///
+/// ```
+/// use cloudqc_cloud::QpuId;
+///
+/// let id = QpuId::new(3);
+/// assert_eq!(id.index(), 3);
+/// assert_eq!(id.to_string(), "QPU3");
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QpuId(u32);
+
+impl QpuId {
+    /// Creates an id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    pub fn new(index: usize) -> Self {
+        QpuId(u32::try_from(index).expect("QPU index fits in u32"))
+    }
+
+    /// The dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for QpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "QPU{}", self.0)
+    }
+}
+
+impl From<usize> for QpuId {
+    fn from(index: usize) -> Self {
+        QpuId::new(index)
+    }
+}
+
+/// Static description of one QPU: its qubit capacities (paper §III,
+/// "QPU model": computing qubits perform gates, communication qubits
+/// assist remote gates).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Qpu {
+    computing: usize,
+    communication: usize,
+}
+
+impl Qpu {
+    /// A QPU with the given capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `computing == 0` (a QPU that cannot run gates is not a
+    /// QPU).
+    pub fn new(computing: usize, communication: usize) -> Self {
+        assert!(computing > 0, "a QPU needs at least one computing qubit");
+        Qpu {
+            computing,
+            communication,
+        }
+    }
+
+    /// Number of computing qubits.
+    pub fn computing_qubits(&self) -> usize {
+        self.computing
+    }
+
+    /// Number of communication qubits.
+    pub fn communication_qubits(&self) -> usize {
+        self.communication
+    }
+}
+
+impl Default for Qpu {
+    /// The paper's default: 20 computing + 5 communication qubits.
+    fn default() -> Self {
+        Qpu::new(20, 5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        assert_eq!(QpuId::new(7).index(), 7);
+        assert_eq!(QpuId::from(7usize), QpuId::new(7));
+    }
+
+    #[test]
+    fn default_matches_paper() {
+        let q = Qpu::default();
+        assert_eq!(q.computing_qubits(), 20);
+        assert_eq!(q.communication_qubits(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one computing qubit")]
+    fn zero_computing_rejected() {
+        Qpu::new(0, 5);
+    }
+
+    #[test]
+    fn zero_communication_allowed() {
+        // A compute-only QPU can host single-QPU jobs.
+        assert_eq!(Qpu::new(4, 0).communication_qubits(), 0);
+    }
+}

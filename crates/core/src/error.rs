@@ -1,0 +1,83 @@
+//! Framework error types.
+
+use cloudqc_cloud::ResourceError;
+use std::error::Error;
+use std::fmt;
+
+/// Failures of the placement pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlacementError {
+    /// The circuit needs more qubits than the whole cloud has free.
+    InsufficientCapacity {
+        /// Qubits the circuit needs.
+        required: usize,
+        /// Computing qubits currently free cloud-wide.
+        available: usize,
+    },
+    /// No placement satisfied the constraints (capacity per QPU, remote
+    /// operation threshold ε) for any partitioning tried.
+    NoFeasiblePlacement,
+    /// A resource allocation failed while applying a placement.
+    Resource(ResourceError),
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::InsufficientCapacity {
+                required,
+                available,
+            } => write!(
+                f,
+                "circuit needs {required} qubits but only {available} are free"
+            ),
+            PlacementError::NoFeasiblePlacement => {
+                write!(f, "no feasible placement found under the configured constraints")
+            }
+            PlacementError::Resource(e) => write!(f, "resource allocation failed: {e}"),
+        }
+    }
+}
+
+impl Error for PlacementError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PlacementError::Resource(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ResourceError> for PlacementError {
+    fn from(e: ResourceError) -> Self {
+        PlacementError::Resource(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudqc_cloud::QpuId;
+
+    #[test]
+    fn display_forms() {
+        let e = PlacementError::InsufficientCapacity {
+            required: 100,
+            available: 40,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(PlacementError::NoFeasiblePlacement.to_string().contains("feasible"));
+    }
+
+    #[test]
+    fn resource_error_wraps() {
+        let inner = ResourceError::Insufficient {
+            qpu: QpuId::new(1),
+            requested: 5,
+            available: 2,
+        };
+        let e = PlacementError::from(inner);
+        assert!(e.source().is_some());
+    }
+}

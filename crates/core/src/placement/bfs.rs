@@ -1,0 +1,77 @@
+//! The CloudQC-BFS placement variant (paper §VI.B).
+//!
+//! "Also a method proposed by us. It differs from CloudQC in using a BFS
+//! search to find feasible QPU for each partition instead of community
+//! detection."
+
+use super::cloudqc::place_with_mode;
+use super::find_placement::FindPlacementMode;
+use super::{Placement, PlacementAlgorithm};
+use crate::config::PlacementConfig;
+use crate::error::PlacementError;
+use cloudqc_circuit::Circuit;
+use cloudqc_cloud::{Cloud, CloudStatus};
+
+/// CloudQC with BFS QPU-set selection instead of community detection.
+/// Shares every other pipeline stage (partition sweep, center mapping,
+/// scoring) with [`super::CloudQcPlacement`].
+#[derive(Clone, Debug, Default)]
+pub struct CloudQcBfsPlacement {
+    config: PlacementConfig,
+}
+
+impl CloudQcBfsPlacement {
+    /// Uses the given pipeline configuration.
+    pub fn new(config: PlacementConfig) -> Self {
+        CloudQcBfsPlacement { config }
+    }
+}
+
+impl PlacementAlgorithm for CloudQcBfsPlacement {
+    fn name(&self) -> &'static str {
+        "CloudQC-BFS"
+    }
+
+    fn place(
+        &self,
+        circuit: &Circuit,
+        cloud: &Cloud,
+        status: &CloudStatus,
+        seed: u64,
+    ) -> Result<Placement, PlacementError> {
+        place_with_mode(
+            circuit,
+            cloud,
+            status,
+            &self.config,
+            FindPlacementMode::Bfs,
+            seed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::cost::remote_op_count;
+    use cloudqc_circuit::generators::catalog;
+    use cloudqc_cloud::CloudBuilder;
+
+    #[test]
+    fn places_large_circuits() {
+        let cloud = CloudBuilder::paper_default(0).build();
+        let circuit = catalog::by_name("cat_n130").unwrap();
+        let status = cloud.status();
+        let p = CloudQcBfsPlacement::default()
+            .place(&circuit, &cloud, &status, 1)
+            .unwrap();
+        assert!(p.fits(&status));
+        // A chain circuit should still cut cheaply under BFS selection.
+        assert!(remote_op_count(&circuit, &p) <= 30);
+    }
+
+    #[test]
+    fn name_distinguishes_variant() {
+        assert_eq!(CloudQcBfsPlacement::default().name(), "CloudQC-BFS");
+    }
+}

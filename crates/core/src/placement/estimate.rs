@@ -1,0 +1,133 @@
+//! Execution time estimation for placement scoring.
+//!
+//! Algorithm 1 scores each candidate placement by `S = α/T + β/C` where
+//! `T` is "the estimated running time of the quantum circuit". We
+//! estimate `T` as the weighted critical path of the gate dependency
+//! DAG: local gates cost their Table I latency; remote gates
+//! additionally pay the *expected* EPR generation latency given a fair
+//! share of communication qubits.
+
+use super::Placement;
+use cloudqc_circuit::dag::gate_dag;
+use cloudqc_circuit::{Circuit, GateKind};
+use cloudqc_cloud::Cloud;
+
+/// Estimated execution time of `circuit` under `placement`, in ticks.
+///
+/// Remote gates are costed at
+/// `hops · E[rounds | fair pairs] · t_ep + t_2q + t_measure + t_1q`,
+/// with the fair share being half the smaller endpoint's communication
+/// capacity (at least 1).
+///
+/// # Panics
+///
+/// Panics if the placement is narrower than the circuit.
+pub fn estimate_execution_time(circuit: &Circuit, placement: &Placement, cloud: &Cloud) -> f64 {
+    assert!(
+        placement.num_qubits() >= circuit.num_qubits(),
+        "placement narrower than circuit"
+    );
+    let latency = cloud.latency();
+    let dag = gate_dag(circuit);
+    let costs: Vec<f64> = circuit
+        .gates()
+        .iter()
+        .map(|gate| match gate.qubit_pair() {
+            Some((a, b)) => {
+                let (pa, pb) = (placement.qpu_of(a.index()), placement.qpu_of(b.index()));
+                if pa == pb {
+                    latency.two_qubit() as f64
+                } else {
+                    let hops = cloud.distance_or_max(pa, pb) as f64;
+                    let fair_pairs = fair_share(cloud, pa, pb);
+                    let rounds = cloud.epr().expected_rounds(fair_pairs);
+                    hops * rounds * latency.epr_attempt() as f64
+                        + latency.remote_gate_completion() as f64
+                }
+            }
+            None => {
+                if gate.kind() == GateKind::Measure {
+                    latency.measure() as f64
+                } else {
+                    latency.single_qubit() as f64
+                }
+            }
+        })
+        .collect();
+    dag.weighted_critical_path(&costs)
+}
+
+/// Fair communication-qubit share assumption: half the smaller
+/// endpoint's capacity, at least one pair.
+fn fair_share(cloud: &Cloud, a: cloudqc_cloud::QpuId, b: cloudqc_cloud::QpuId) -> usize {
+    let cap = cloud
+        .qpu(a)
+        .communication_qubits()
+        .min(cloud.qpu(b).communication_qubits());
+    (cap / 2).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudqc_cloud::{CloudBuilder, QpuId};
+
+    fn cloud() -> Cloud {
+        CloudBuilder::new(3).line_topology().build()
+    }
+
+    fn two_gate_circuit() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cx(0, 1);
+        c
+    }
+
+    #[test]
+    fn local_placement_is_cheap() {
+        let c = two_gate_circuit();
+        let local = Placement::new(vec![QpuId::new(0); 2]);
+        let t = estimate_execution_time(&c, &local, &cloud());
+        // h (1) + cx (10).
+        assert_eq!(t, 11.0);
+    }
+
+    #[test]
+    fn remote_placement_is_much_more_expensive() {
+        let c = two_gate_circuit();
+        let cloud = cloud();
+        let local = Placement::new(vec![QpuId::new(0); 2]);
+        let remote = Placement::new(vec![QpuId::new(0), QpuId::new(1)]);
+        let t_local = estimate_execution_time(&c, &local, &cloud);
+        let t_remote = estimate_execution_time(&c, &remote, &cloud);
+        assert!(t_remote > 10.0 * t_local, "local {t_local}, remote {t_remote}");
+    }
+
+    #[test]
+    fn distance_increases_estimate() {
+        let c = two_gate_circuit();
+        let cloud = cloud();
+        let near = Placement::new(vec![QpuId::new(0), QpuId::new(1)]);
+        let far = Placement::new(vec![QpuId::new(0), QpuId::new(2)]);
+        assert!(
+            estimate_execution_time(&c, &far, &cloud)
+                > estimate_execution_time(&c, &near, &cloud)
+        );
+    }
+
+    #[test]
+    fn parallel_gates_do_not_stack() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1).cx(2, 3); // independent: same critical path as one gate
+        let p = Placement::new(vec![QpuId::new(0); 4]);
+        assert_eq!(estimate_execution_time(&c, &p, &cloud()), 10.0);
+    }
+
+    #[test]
+    fn measurement_latency_counted() {
+        let mut c = Circuit::new(1);
+        c.measure(0);
+        let p = Placement::new(vec![QpuId::new(0)]);
+        assert_eq!(estimate_execution_time(&c, &p, &cloud()), 50.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! The Random placement baseline (paper §VI.B).
+//!
+//! "It starts with a random node and does a random search to select a
+//! set of QPUs that meet computing constraints."
+
+use super::{check_total_capacity, Placement, PlacementAlgorithm};
+use crate::error::PlacementError;
+use cloudqc_circuit::Circuit;
+use cloudqc_cloud::{Cloud, CloudStatus, QpuId};
+use cloudqc_graph::traversal::bfs_order;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// Random placement: BFS from a random start QPU collects a feasible
+/// QPU set; qubits are shuffled and dealt into the set's free slots.
+#[derive(Clone, Debug, Default)]
+pub struct RandomPlacement;
+
+impl PlacementAlgorithm for RandomPlacement {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn place(
+        &self,
+        circuit: &Circuit,
+        cloud: &Cloud,
+        status: &CloudStatus,
+        seed: u64,
+    ) -> Result<Placement, PlacementError> {
+        check_total_capacity(circuit, status)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = cloud.qpu_count();
+        let size = circuit.num_qubits();
+
+        // Random start; BFS order gives a connected-ish set, as the
+        // baseline describes.
+        let start = rng.random_range(0..n);
+        let mut selected: Vec<usize> = Vec::new();
+        let mut capacity = 0usize;
+        for u in bfs_order(cloud.topology(), start) {
+            if status.free_computing(QpuId::new(u)) == 0 {
+                continue;
+            }
+            selected.push(u);
+            capacity += status.free_computing(QpuId::new(u));
+            if capacity >= size {
+                break;
+            }
+        }
+        if capacity < size {
+            // Disconnected or unlucky: take every QPU with free space.
+            selected = (0..n)
+                .filter(|&u| status.free_computing(QpuId::new(u)) > 0)
+                .collect();
+        }
+
+        // Deal shuffled qubits into free slots across the selected QPUs.
+        let mut slots: Vec<QpuId> = Vec::with_capacity(size);
+        'outer: for &u in &selected {
+            for _ in 0..status.free_computing(QpuId::new(u)) {
+                slots.push(QpuId::new(u));
+                if slots.len() == size {
+                    break 'outer;
+                }
+            }
+        }
+        if slots.len() < size {
+            return Err(PlacementError::NoFeasiblePlacement);
+        }
+        let mut qubits: Vec<usize> = (0..size).collect();
+        qubits.shuffle(&mut rng);
+        let mut assignment = vec![QpuId::new(0); size];
+        for (slot, q) in slots.into_iter().zip(qubits) {
+            assignment[q] = slot;
+        }
+        Ok(Placement::new(assignment))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudqc_circuit::generators::catalog;
+    use cloudqc_cloud::CloudBuilder;
+
+    #[test]
+    fn placement_fits_and_covers() {
+        let cloud = CloudBuilder::paper_default(3).build();
+        let circuit = catalog::by_name("knn_n67").unwrap();
+        let status = cloud.status();
+        let p = RandomPlacement
+            .place(&circuit, &cloud, &status, 11)
+            .unwrap();
+        assert_eq!(p.num_qubits(), 67);
+        assert!(p.fits(&status));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cloud = CloudBuilder::paper_default(3).build();
+        let circuit = catalog::by_name("knn_n67").unwrap();
+        let status = cloud.status();
+        let a = RandomPlacement.place(&circuit, &cloud, &status, 1).unwrap();
+        let b = RandomPlacement.place(&circuit, &cloud, &status, 2).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn capacity_error_when_cloud_full() {
+        let cloud = CloudBuilder::new(2).computing_qubits(5).build();
+        let circuit = catalog::by_name("knn_n67").unwrap();
+        assert!(matches!(
+            RandomPlacement.place(&circuit, &cloud, &cloud.status(), 0),
+            Err(PlacementError::InsufficientCapacity { .. })
+        ));
+    }
+}

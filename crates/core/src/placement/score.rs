@@ -1,0 +1,52 @@
+//! The placement scoring function `S = α/T + β/C` (paper §V.B,
+//! "Circuit placement summary").
+
+/// Scores a candidate placement from its estimated execution time `T`
+/// (ticks) and communication cost `C`. Higher is better.
+///
+/// A zero cost (single-QPU placement) or zero time contributes the
+/// term's weight at the `1.0` floor, keeping scores finite while still
+/// strictly preferring cheaper placements.
+///
+/// # Example
+///
+/// ```
+/// use cloudqc_core::placement::score::placement_score;
+///
+/// let fast_cheap = placement_score(100.0, 10.0, 1.0, 1.0);
+/// let slow_dear = placement_score(1000.0, 100.0, 1.0, 1.0);
+/// assert!(fast_cheap > slow_dear);
+/// ```
+pub fn placement_score(time: f64, cost: f64, alpha: f64, beta: f64) -> f64 {
+    alpha / time.max(1.0) + beta / cost.max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_time_scores_higher() {
+        assert!(placement_score(10.0, 50.0, 1.0, 1.0) > placement_score(20.0, 50.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn lower_cost_scores_higher() {
+        assert!(placement_score(10.0, 5.0, 1.0, 1.0) > placement_score(10.0, 50.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn zero_cost_is_finite_and_best() {
+        let s = placement_score(10.0, 0.0, 1.0, 1.0);
+        assert!(s.is_finite());
+        assert!(s >= placement_score(10.0, 1.5, 1.0, 1.0));
+    }
+
+    #[test]
+    fn weights_trade_off() {
+        // With β = 0 only time matters.
+        let a = placement_score(10.0, 999.0, 1.0, 0.0);
+        let b = placement_score(10.0, 1.0, 1.0, 0.0);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,72 @@
+//! Remote-gate priorities (paper §V.C).
+//!
+//! "The priority `p_i` can be computed by `p_i = max_{P∈P(n_i)} |P|`,
+//! the depth of the longest path from node `n_i` to any leaf node in
+//! the DAG" — a gate whose failure would backlog a long chain of
+//! downstream remote gates deserves redundant resources.
+
+use super::remote_dag::RemoteDag;
+
+/// Computes every remote-DAG node's priority: the edge-length of the
+/// longest path from the node to any leaf. Leaves get 0.
+///
+/// # Example
+///
+/// ```
+/// use cloudqc_circuit::Circuit;
+/// use cloudqc_cloud::{CloudBuilder, QpuId};
+/// use cloudqc_core::placement::Placement;
+/// use cloudqc_core::schedule::{priority::priorities, RemoteDag};
+///
+/// // A chain of three dependent remote gates.
+/// let mut c = Circuit::new(2);
+/// c.cx(0, 1);
+/// c.cx(0, 1);
+/// c.cx(0, 1);
+/// let cloud = CloudBuilder::new(2).line_topology().build();
+/// let p = Placement::new(vec![QpuId::new(0), QpuId::new(1)]);
+/// let rd = RemoteDag::new(&c, &p, &cloud);
+/// assert_eq!(priorities(&rd), vec![2, 1, 0]);
+/// ```
+pub fn priorities(remote_dag: &RemoteDag) -> Vec<usize> {
+    remote_dag.dag().longest_path_to_leaf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::Placement;
+    use cloudqc_circuit::Circuit;
+    use cloudqc_cloud::{CloudBuilder, QpuId};
+
+    #[test]
+    fn critical_path_gets_top_priority() {
+        // Long chain on qubits (0,1); independent single gate on (2,3).
+        let mut c = Circuit::new(4);
+        c.cx(0, 1);
+        c.cx(0, 1);
+        c.cx(0, 1);
+        c.cx(2, 3);
+        let cloud = CloudBuilder::new(4).ring_topology().build();
+        let p = Placement::new(vec![
+            QpuId::new(0),
+            QpuId::new(1),
+            QpuId::new(2),
+            QpuId::new(3),
+        ]);
+        let rd = RemoteDag::new(&c, &p, &cloud);
+        let pr = priorities(&rd);
+        assert_eq!(pr, vec![2, 1, 0, 0]);
+        // The chain head outranks the independent gate.
+        assert!(pr[0] > pr[3]);
+    }
+
+    #[test]
+    fn empty_dag_no_priorities() {
+        let c = Circuit::new(2);
+        let cloud = CloudBuilder::new(2).line_topology().build();
+        let p = Placement::new(vec![QpuId::new(0), QpuId::new(1)]);
+        let rd = RemoteDag::new(&c, &p, &cloud);
+        assert!(priorities(&rd).is_empty());
+    }
+}

@@ -1,0 +1,100 @@
+//! Path selection for remote gates (the "Selected paths" input of the
+//! paper's Fig. 4 workflow).
+//!
+//! A remote gate between non-adjacent QPUs needs entanglement swapping
+//! at every intermediate QPU on its path. [`select_path`] picks a
+//! deterministic shortest hop path; the executor's optional
+//! *path-reservation* mode then also holds one communication qubit at
+//! each intermediate QPU for the duration of every EPR round, modelling
+//! swapping-station contention.
+
+use cloudqc_cloud::{Cloud, QpuId};
+use cloudqc_graph::paths::shortest_hop_path;
+
+/// Selects the route for a remote gate between `a` and `b`: a shortest
+/// hop path through the topology, deterministic (lowest-index
+/// predecessors). Returns the QPU sequence from `a` to `b` inclusive,
+/// or `None` if no quantum path exists.
+///
+/// # Example
+///
+/// ```
+/// use cloudqc_cloud::{CloudBuilder, QpuId};
+/// use cloudqc_core::schedule::routing::select_path;
+///
+/// let cloud = CloudBuilder::new(4).line_topology().build();
+/// let path = select_path(&cloud, QpuId::new(0), QpuId::new(3)).unwrap();
+/// assert_eq!(path, vec![QpuId::new(0), QpuId::new(1), QpuId::new(2), QpuId::new(3)]);
+/// ```
+pub fn select_path(cloud: &Cloud, a: QpuId, b: QpuId) -> Option<Vec<QpuId>> {
+    let path = shortest_hop_path(cloud.topology(), a.index(), b.index())?;
+    Some(path.into_iter().map(QpuId::new).collect())
+}
+
+/// The intermediate QPUs of a path (exclusive of both endpoints) —
+/// the swapping stations a path-reserving executor must charge.
+pub fn intermediates(path: &[QpuId]) -> &[QpuId] {
+    if path.len() <= 2 {
+        &[]
+    } else {
+        &path[1..path.len() - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudqc_cloud::CloudBuilder;
+
+    #[test]
+    fn adjacent_pair_has_no_intermediates() {
+        let cloud = CloudBuilder::new(3).line_topology().build();
+        let path = select_path(&cloud, QpuId::new(0), QpuId::new(1)).unwrap();
+        assert_eq!(path.len(), 2);
+        assert!(intermediates(&path).is_empty());
+    }
+
+    #[test]
+    fn path_length_matches_distance() {
+        let cloud = CloudBuilder::new(6).ring_topology().build();
+        for a in 0..6 {
+            for b in 0..6 {
+                if a == b {
+                    continue;
+                }
+                let (qa, qb) = (QpuId::new(a), QpuId::new(b));
+                let path = select_path(&cloud, qa, qb).unwrap();
+                assert_eq!(
+                    path.len() as u32 - 1,
+                    cloud.distance(qa, qb).unwrap(),
+                    "({a},{b})"
+                );
+                assert_eq!(path[0], qa);
+                assert_eq!(*path.last().unwrap(), qb);
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_pair_has_no_path() {
+        use cloudqc_cloud::{Cloud, EprModel, LatencyModel, Qpu};
+        use cloudqc_graph::Graph;
+        let mut topo = Graph::new(3);
+        topo.add_edge(0, 1, 1.0);
+        let cloud = Cloud::from_parts(
+            vec![Qpu::default(); 3],
+            topo,
+            LatencyModel::default(),
+            EprModel::default(),
+        );
+        assert!(select_path(&cloud, QpuId::new(0), QpuId::new(2)).is_none());
+    }
+
+    #[test]
+    fn deterministic_selection() {
+        let cloud = CloudBuilder::paper_default(3).build();
+        let a = select_path(&cloud, QpuId::new(2), QpuId::new(17));
+        let b = select_path(&cloud, QpuId::new(2), QpuId::new(17));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,613 @@
+//! The multi-tenant orchestrator (paper §VI.D).
+//!
+//! A batch of circuits arrives at `t = 0`. The batch manager orders
+//! them; the placement algorithm admits every job the current resources
+//! allow (jobs that do not fit wait — later jobs may backfill); admitted
+//! jobs execute *concurrently* on the shared executor, competing for
+//! communication qubits; when a job finishes, its computing qubits are
+//! released and the queue is re-scanned.
+//!
+//! Job completion time (the metric of Figs. 14–17) is measured from
+//! batch arrival, so it includes queueing delay.
+
+use crate::batch::{order_jobs, OrderingPolicy};
+use crate::error::PlacementError;
+use crate::exec::Executor;
+use crate::placement::PlacementAlgorithm;
+use crate::schedule::Scheduler;
+use cloudqc_circuit::Circuit;
+use cloudqc_cloud::Cloud;
+use cloudqc_sim::Tick;
+
+/// Per-job outcome of a multi-tenant run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantOutcome {
+    /// Index of the job in the submitted batch.
+    pub job: usize,
+    /// When the job arrived (t = 0 in batch mode).
+    pub arrived_at: Tick,
+    /// When the job was admitted (placement succeeded).
+    pub admitted_at: Tick,
+    /// When the job finished.
+    pub finished_at: Tick,
+    /// Completion time from arrival (includes queueing delay), in ticks.
+    pub completion_time: Tick,
+    /// Remote gates induced by the chosen placement.
+    pub remote_gates: usize,
+    /// Computing qubits the job occupied while running.
+    pub qubits: usize,
+}
+
+/// Result of a whole batch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MultiTenantRun {
+    /// One outcome per job, in batch order.
+    pub outcomes: Vec<TenantOutcome>,
+    /// Time the last job finished.
+    pub makespan: Tick,
+}
+
+impl MultiTenantRun {
+    /// Completion times (from arrival) of all jobs, in batch order.
+    pub fn completion_times(&self) -> Vec<Tick> {
+        self.outcomes.iter().map(|o| o.completion_time).collect()
+    }
+
+    /// Mean job completion time in ticks.
+    pub fn mean_completion_time(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes
+            .iter()
+            .map(|o| o.completion_time.as_ticks() as f64)
+            .sum::<f64>()
+            / self.outcomes.len() as f64
+    }
+
+    /// Computing-qubit utilization over the run: qubit-ticks actually
+    /// held by jobs divided by the cloud's capacity × makespan. This is
+    /// the resource-efficiency view of the paper's objective 2 (Eq. 2,
+    /// minimizing idle qubits).
+    ///
+    /// Returns `0.0` for an empty run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_computing_capacity == 0`.
+    pub fn utilization(&self, total_computing_capacity: usize) -> f64 {
+        assert!(total_computing_capacity > 0, "capacity must be positive");
+        if self.outcomes.is_empty() || self.makespan == Tick::ZERO {
+            return 0.0;
+        }
+        let held: f64 = self
+            .outcomes
+            .iter()
+            .map(|o| o.qubits as f64 * (o.finished_at - o.admitted_at) as f64)
+            .sum();
+        held / (total_computing_capacity as f64 * self.makespan.as_ticks() as f64)
+    }
+}
+
+/// Runs one batch of circuits through the full CloudQC pipeline.
+///
+/// # Errors
+///
+/// [`PlacementError`] if some job can never be placed even on an idle
+/// cloud (it would otherwise wait forever).
+///
+/// # Example
+///
+/// ```
+/// use cloudqc_circuit::generators::catalog;
+/// use cloudqc_cloud::CloudBuilder;
+/// use cloudqc_core::batch::OrderingPolicy;
+/// use cloudqc_core::placement::CloudQcPlacement;
+/// use cloudqc_core::schedule::CloudQcScheduler;
+/// use cloudqc_core::tenant::run_multi_tenant;
+///
+/// let cloud = CloudBuilder::paper_default(1).build();
+/// let batch = vec![
+///     catalog::by_name("vqe_n4").unwrap(),
+///     catalog::by_name("qft_n29").unwrap(),
+/// ];
+/// let run = run_multi_tenant(
+///     &batch,
+///     &cloud,
+///     &CloudQcPlacement::default(),
+///     &CloudQcScheduler,
+///     OrderingPolicy::default(),
+///     7,
+/// ).unwrap();
+/// assert_eq!(run.outcomes.len(), 2);
+/// ```
+pub fn run_multi_tenant(
+    circuits: &[Circuit],
+    cloud: &Cloud,
+    placement: &dyn PlacementAlgorithm,
+    scheduler: &dyn Scheduler,
+    ordering: OrderingPolicy,
+    seed: u64,
+) -> Result<MultiTenantRun, PlacementError> {
+    let order = order_jobs(circuits, ordering);
+    let mut waiting: Vec<usize> = order; // batch indices, in processing order
+    let mut status = cloud.status();
+    let mut exec = Executor::new(cloud, scheduler, seed);
+
+    // exec job id -> (batch index, demand vector)
+    let mut admitted: Vec<(usize, Vec<usize>)> = Vec::new();
+    let mut outcomes: Vec<Option<TenantOutcome>> = vec![None; circuits.len()];
+
+    // Admits every waiting job the current resources allow (in order,
+    // with backfill). Returns how many were admitted.
+    let admit = |waiting: &mut Vec<usize>,
+                 status: &mut cloudqc_cloud::CloudStatus,
+                 exec: &mut Executor,
+                 admitted: &mut Vec<(usize, Vec<usize>)>|
+     -> Result<usize, PlacementError> {
+        let mut n_admitted = 0;
+        let mut i = 0;
+        while i < waiting.len() {
+            let batch_idx = waiting[i];
+            let circuit = &circuits[batch_idx];
+            match placement.place(circuit, cloud, status, seed ^ (batch_idx as u64) << 17) {
+                Ok(p) => {
+                    let demand = p.qpu_demand(cloud.qpu_count());
+                    status
+                        .allocate_all_computing(&demand)
+                        .expect("placement.fits was checked by the algorithm");
+                    let exec_id = exec.add_job(circuit, &p);
+                    debug_assert_eq!(exec_id, admitted.len());
+                    admitted.push((batch_idx, demand));
+                    waiting.remove(i);
+                    n_admitted += 1;
+                }
+                Err(PlacementError::InsufficientCapacity { required, .. })
+                    if required > cloud.total_computing_capacity() =>
+                {
+                    // Impossible even on an idle cloud: fail the batch.
+                    return Err(PlacementError::InsufficientCapacity {
+                        required,
+                        available: cloud.total_computing_capacity(),
+                    });
+                }
+                Err(_) => {
+                    i += 1; // cannot fit now: wait, let later jobs backfill
+                }
+            }
+        }
+        Ok(n_admitted)
+    };
+
+    admit(&mut waiting, &mut status, &mut exec, &mut admitted)?;
+
+    while exec.unfinished_jobs() > 0 || !waiting.is_empty() {
+        let finished = exec.run_until_next_completion();
+        if finished.is_empty() {
+            // Executor idle but jobs still wait: they must be placeable
+            // on the (now fully free) cloud or the batch cannot finish.
+            if !waiting.is_empty() {
+                return Err(PlacementError::NoFeasiblePlacement);
+            }
+            break;
+        }
+        for exec_id in finished {
+            let (batch_idx, demand) = &admitted[exec_id];
+            status.release_all_computing(demand);
+            let result = exec.job_result(exec_id).expect("job finished");
+            outcomes[*batch_idx] = Some(TenantOutcome {
+                job: *batch_idx,
+                arrived_at: Tick::ZERO,
+                admitted_at: result.started_at,
+                finished_at: result.finished_at,
+                completion_time: Tick::new(result.finished_at.as_ticks()),
+                remote_gates: result.remote_gates,
+                qubits: demand.iter().sum(),
+            });
+        }
+        admit(&mut waiting, &mut status, &mut exec, &mut admitted)?;
+    }
+
+    let outcomes: Vec<TenantOutcome> = outcomes
+        .into_iter()
+        .map(|o| o.expect("every job completed"))
+        .collect();
+    let makespan = outcomes
+        .iter()
+        .map(|o| o.finished_at)
+        .max()
+        .unwrap_or(Tick::ZERO);
+    Ok(MultiTenantRun { outcomes, makespan })
+}
+
+/// Runs the *incoming job mode* (paper §V.B): jobs arrive one after
+/// another and are processed first-in-first-out. A job that does not
+/// fit waits; arrivals behind it may backfill once earlier completions
+/// free resources. Completion time is measured from each job's own
+/// arrival.
+///
+/// `jobs` pairs each circuit with its arrival time (any order; sorted
+/// internally).
+///
+/// # Errors
+///
+/// [`PlacementError`] if some job can never be placed even on an idle
+/// cloud.
+///
+/// # Example
+///
+/// ```
+/// use cloudqc_circuit::generators::catalog;
+/// use cloudqc_cloud::CloudBuilder;
+/// use cloudqc_core::placement::CloudQcPlacement;
+/// use cloudqc_core::schedule::CloudQcScheduler;
+/// use cloudqc_core::tenant::{poisson_arrivals, run_incoming};
+/// use cloudqc_sim::Tick;
+///
+/// let cloud = CloudBuilder::paper_default(1).build();
+/// let arrivals = poisson_arrivals(3, 10_000.0, 7);
+/// let jobs: Vec<_> = arrivals
+///     .into_iter()
+///     .map(|t| (catalog::by_name("qugan_n39").unwrap(), t))
+///     .collect();
+/// let run = run_incoming(&jobs, &cloud, &CloudQcPlacement::default(),
+///                        &CloudQcScheduler, 7).unwrap();
+/// assert_eq!(run.outcomes.len(), 3);
+/// ```
+pub fn run_incoming(
+    jobs: &[(Circuit, Tick)],
+    cloud: &Cloud,
+    placement: &dyn PlacementAlgorithm,
+    scheduler: &dyn Scheduler,
+    seed: u64,
+) -> Result<MultiTenantRun, PlacementError> {
+    // FIFO by arrival time (stable on ties).
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by_key(|&i| jobs[i].1);
+
+    let mut status = cloud.status();
+    let mut exec = Executor::new(cloud, scheduler, seed);
+    let mut waiting: Vec<usize> = Vec::new(); // arrived, unplaced (FIFO)
+    let mut admitted: Vec<(usize, Vec<usize>)> = Vec::new();
+    let mut outcomes: Vec<Option<TenantOutcome>> = vec![None; jobs.len()];
+    let mut next_arrival = 0usize;
+
+    let record = |exec: &Executor,
+                      admitted: &[(usize, Vec<usize>)],
+                      status: &mut cloudqc_cloud::CloudStatus,
+                      outcomes: &mut Vec<Option<TenantOutcome>>,
+                      finished: Vec<usize>| {
+        for exec_id in finished {
+            let (job_idx, demand) = &admitted[exec_id];
+            status.release_all_computing(demand);
+            let result = exec.job_result(exec_id).expect("job finished");
+            let arrived = jobs[*job_idx].1;
+            outcomes[*job_idx] = Some(TenantOutcome {
+                job: *job_idx,
+                arrived_at: arrived,
+                admitted_at: result.started_at,
+                finished_at: result.finished_at,
+                completion_time: Tick::new(result.finished_at - arrived),
+                remote_gates: result.remote_gates,
+                qubits: demand.iter().sum(),
+            });
+        }
+    };
+
+    loop {
+        // Admit every waiting job that fits, FIFO with backfill.
+        let mut i = 0;
+        while i < waiting.len() {
+            let job_idx = waiting[i];
+            match placement.place(&jobs[job_idx].0, cloud, &status, seed ^ (job_idx as u64) << 17) {
+                Ok(p) => {
+                    let demand = p.qpu_demand(cloud.qpu_count());
+                    status
+                        .allocate_all_computing(&demand)
+                        .expect("algorithm checked fit");
+                    let exec_id = exec.add_job(&jobs[job_idx].0, &p);
+                    debug_assert_eq!(exec_id, admitted.len());
+                    admitted.push((job_idx, demand));
+                    waiting.remove(i);
+                }
+                Err(PlacementError::InsufficientCapacity { required, .. })
+                    if required > cloud.total_computing_capacity() =>
+                {
+                    return Err(PlacementError::InsufficientCapacity {
+                        required,
+                        available: cloud.total_computing_capacity(),
+                    });
+                }
+                Err(_) => i += 1,
+            }
+        }
+
+        // Advance: to the next arrival if one is pending, else to the
+        // next completion.
+        if next_arrival < order.len() {
+            let arrival_time = jobs[order[next_arrival]].1;
+            let finished = exec.run_until(arrival_time);
+            record(&exec, &admitted, &mut status, &mut outcomes, finished);
+            // Enqueue every job arriving at this instant.
+            while next_arrival < order.len() && jobs[order[next_arrival]].1 <= arrival_time {
+                waiting.push(order[next_arrival]);
+                next_arrival += 1;
+            }
+        } else if exec.unfinished_jobs() > 0 {
+            let finished = exec.run_until_next_completion();
+            if finished.is_empty() && !waiting.is_empty() {
+                return Err(PlacementError::NoFeasiblePlacement);
+            }
+            record(&exec, &admitted, &mut status, &mut outcomes, finished);
+        } else if waiting.is_empty() {
+            break;
+        } else {
+            // Idle executor, no arrivals left, jobs still waiting: they
+            // must fit the (fully free) cloud or never will.
+            return Err(PlacementError::NoFeasiblePlacement);
+        }
+    }
+
+    let outcomes: Vec<TenantOutcome> = outcomes
+        .into_iter()
+        .map(|o| o.expect("every job completed"))
+        .collect();
+    let makespan = outcomes
+        .iter()
+        .map(|o| o.finished_at)
+        .max()
+        .unwrap_or(Tick::ZERO);
+    Ok(MultiTenantRun { outcomes, makespan })
+}
+
+/// Samples `n` arrival times with exponentially distributed
+/// inter-arrival gaps of the given mean (in ticks) — a Poisson arrival
+/// process for incoming-job-mode experiments. Deterministic per seed.
+///
+/// # Panics
+///
+/// Panics if `mean_interarrival` is not positive and finite.
+pub fn poisson_arrivals(n: usize, mean_interarrival: f64, seed: u64) -> Vec<Tick> {
+    use rand::RngExt;
+    assert!(
+        mean_interarrival.is_finite() && mean_interarrival > 0.0,
+        "mean inter-arrival must be positive"
+    );
+    let mut rng = cloudqc_sim::SimRng::new(seed).fork("arrivals").into_std();
+    let mut t = 0.0f64;
+    (0..n)
+        .map(|_| {
+            // Inverse-transform sampling of Exp(1/mean).
+            let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+            t += -mean_interarrival * u.ln();
+            Tick::new(t as u64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{CloudQcBfsPlacement, CloudQcPlacement};
+    use crate::schedule::CloudQcScheduler;
+    use cloudqc_circuit::generators::catalog;
+    use cloudqc_cloud::CloudBuilder;
+
+    fn small_batch() -> Vec<Circuit> {
+        vec![
+            catalog::by_name("vqe_n4").unwrap(),
+            catalog::by_name("qft_n29").unwrap(),
+            catalog::by_name("ghz_n40").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn every_job_completes_exactly_once() {
+        let cloud = CloudBuilder::paper_default(2).build();
+        let run = run_multi_tenant(
+            &small_batch(),
+            &cloud,
+            &CloudQcPlacement::default(),
+            &CloudQcScheduler,
+            OrderingPolicy::default(),
+            3,
+        )
+        .unwrap();
+        assert_eq!(run.outcomes.len(), 3);
+        for (i, o) in run.outcomes.iter().enumerate() {
+            assert_eq!(o.job, i);
+            assert!(o.finished_at >= o.admitted_at);
+            assert!(o.completion_time.as_ticks() > 0);
+        }
+        assert_eq!(
+            run.makespan,
+            run.outcomes.iter().map(|o| o.finished_at).max().unwrap()
+        );
+    }
+
+    #[test]
+    fn contention_forces_queueing() {
+        // A cloud too small for both jobs at once: the second must wait
+        // for the first to release qubits.
+        let cloud = CloudBuilder::new(3)
+            .computing_qubits(10)
+            .line_topology()
+            .build();
+        let batch = vec![
+            catalog::by_name("ghz_n25").unwrap(),
+            catalog::by_name("ghz_n25").unwrap(),
+        ];
+        let run = run_multi_tenant(
+            &batch,
+            &cloud,
+            &CloudQcPlacement::default(),
+            &CloudQcScheduler,
+            OrderingPolicy::Fifo,
+            1,
+        )
+        .unwrap();
+        let (a, b) = (&run.outcomes[0], &run.outcomes[1]);
+        let (first, second) = if a.admitted_at <= b.admitted_at { (a, b) } else { (b, a) };
+        assert_eq!(first.admitted_at, Tick::ZERO);
+        assert!(second.admitted_at >= first.finished_at);
+    }
+
+    #[test]
+    fn impossible_job_is_an_error() {
+        let cloud = CloudBuilder::new(2).computing_qubits(5).build();
+        let batch = vec![catalog::by_name("ghz_n40").unwrap()];
+        let err = run_multi_tenant(
+            &batch,
+            &cloud,
+            &CloudQcPlacement::default(),
+            &CloudQcScheduler,
+            OrderingPolicy::default(),
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PlacementError::InsufficientCapacity { .. }));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cloud = CloudBuilder::paper_default(5).build();
+        let batch = small_batch();
+        let run = |s| {
+            run_multi_tenant(
+                &batch,
+                &cloud,
+                &CloudQcBfsPlacement::default(),
+                &CloudQcScheduler,
+                OrderingPolicy::default(),
+                s,
+            )
+            .unwrap()
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn utilization_is_a_sane_fraction() {
+        let cloud = CloudBuilder::paper_default(13).build();
+        let batch = small_batch();
+        let run = run_multi_tenant(
+            &batch,
+            &cloud,
+            &CloudQcPlacement::default(),
+            &CloudQcScheduler,
+            OrderingPolicy::default(),
+            4,
+        )
+        .unwrap();
+        let u = run.utilization(cloud.total_computing_capacity());
+        assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+        // Qubit counts recorded per job.
+        for (o, c) in run.outcomes.iter().zip(&batch) {
+            assert_eq!(o.qubits, c.num_qubits());
+        }
+    }
+
+    #[test]
+    fn incoming_mode_respects_arrivals() {
+        let cloud = CloudBuilder::paper_default(11).build();
+        let jobs = vec![
+            (catalog::by_name("qugan_n39").unwrap(), Tick::new(0)),
+            (catalog::by_name("ising_n34").unwrap(), Tick::new(5_000)),
+            (catalog::by_name("bv_n70").unwrap(), Tick::new(9_000)),
+        ];
+        let run = run_incoming(
+            &jobs,
+            &cloud,
+            &CloudQcPlacement::default(),
+            &CloudQcScheduler,
+            3,
+        )
+        .unwrap();
+        assert_eq!(run.outcomes.len(), 3);
+        for (i, o) in run.outcomes.iter().enumerate() {
+            assert_eq!(o.arrived_at, jobs[i].1);
+            assert!(o.admitted_at >= o.arrived_at, "job {i} admitted before arrival");
+            assert_eq!(
+                o.completion_time.as_ticks(),
+                o.finished_at - o.arrived_at,
+                "job {i} JCT from its own arrival"
+            );
+        }
+    }
+
+    #[test]
+    fn incoming_mode_queues_under_contention() {
+        // Jobs arrive faster than the tiny cloud can drain them.
+        let cloud = CloudBuilder::new(3)
+            .computing_qubits(10)
+            .line_topology()
+            .build();
+        let circuit = catalog::by_name("ghz_n25").unwrap();
+        let jobs: Vec<_> = (0..3).map(|i| (circuit.clone(), Tick::new(i * 10))).collect();
+        let run = run_incoming(
+            &jobs,
+            &cloud,
+            &CloudQcPlacement::default(),
+            &CloudQcScheduler,
+            5,
+        )
+        .unwrap();
+        // 25-qubit jobs on a 30-qubit cloud serialize: each next job is
+        // admitted no earlier than the previous one finishes.
+        let mut by_arrival = run.outcomes.clone();
+        by_arrival.sort_by_key(|o| o.arrived_at);
+        for pair in by_arrival.windows(2) {
+            assert!(pair[1].admitted_at >= pair[0].finished_at);
+        }
+    }
+
+    #[test]
+    fn poisson_arrivals_are_sorted_and_deterministic() {
+        let a = poisson_arrivals(50, 100.0, 9);
+        let b = poisson_arrivals(50, 100.0, 9);
+        assert_eq!(a, b);
+        for pair in a.windows(2) {
+            assert!(pair[0] <= pair[1]);
+        }
+        // Mean inter-arrival is roughly the requested mean.
+        let total = a.last().unwrap().as_ticks() as f64;
+        let mean = total / 50.0;
+        assert!((mean - 100.0).abs() < 50.0, "mean gap {mean}");
+    }
+
+    #[test]
+    fn fifo_and_metric_can_differ() {
+        let cloud = CloudBuilder::new(4)
+            .computing_qubits(15)
+            .ring_topology()
+            .build();
+        // One dense job and two light ones; under contention the
+        // admission order (hence at least admission times) differs.
+        let batch = vec![
+            catalog::by_name("ghz_n30").unwrap(),
+            catalog::by_name("qft_n29").unwrap(),
+            catalog::by_name("ghz_n30").unwrap(),
+        ];
+        let fifo = run_multi_tenant(
+            &batch,
+            &cloud,
+            &CloudQcPlacement::default(),
+            &CloudQcScheduler,
+            OrderingPolicy::Fifo,
+            2,
+        )
+        .unwrap();
+        let metric = run_multi_tenant(
+            &batch,
+            &cloud,
+            &CloudQcPlacement::default(),
+            &CloudQcScheduler,
+            OrderingPolicy::default(),
+            2,
+        )
+        .unwrap();
+        assert_eq!(fifo.outcomes.len(), metric.outcomes.len());
+        // The dense qft job leads under the metric ordering.
+        assert_eq!(metric.outcomes[1].admitted_at, Tick::ZERO);
+    }
+}

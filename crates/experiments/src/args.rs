@@ -1,0 +1,102 @@
+//! Minimal command-line argument handling shared by every experiment
+//! binary (no external CLI dependency needed for `--seed N --reps N
+//! --paper`).
+
+/// Common experiment options.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExpArgs {
+    /// Root seed; every stochastic component forks from it.
+    pub seed: u64,
+    /// Repetitions used for stochastic means.
+    pub reps: usize,
+    /// Run the paper's full-scale configuration (slower).
+    pub paper: bool,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        ExpArgs {
+            seed: 42,
+            reps: 3,
+            paper: false,
+        }
+    }
+}
+
+impl ExpArgs {
+    /// Parses `--seed N`, `--reps N` and `--paper` from an argument
+    /// iterator (unknown arguments are rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed input.
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = ExpArgs::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--seed" => {
+                    let v = iter.next().ok_or("--seed needs a value")?;
+                    out.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+                }
+                "--reps" => {
+                    let v = iter.next().ok_or("--reps needs a value")?;
+                    out.reps = v.parse().map_err(|_| format!("bad reps `{v}`"))?;
+                    if out.reps == 0 {
+                        return Err("--reps must be at least 1".to_owned());
+                    }
+                }
+                "--paper" => out.paper = true,
+                "--help" | "-h" => {
+                    return Err(
+                        "usage: [--seed N] [--reps N] [--paper]\n  --paper runs the paper's full-scale configuration"
+                            .to_owned(),
+                    )
+                }
+                other => return Err(format!("unknown argument `{other}`")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses the process arguments, exiting with a message on error.
+    pub fn parse() -> Self {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ExpArgs, String> {
+        ExpArgs::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a, ExpArgs::default());
+    }
+
+    #[test]
+    fn full_set() {
+        let a = parse(&["--seed", "7", "--reps", "10", "--paper"]).unwrap();
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.reps, 10);
+        assert!(a.paper);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["--reps", "0"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+    }
+}

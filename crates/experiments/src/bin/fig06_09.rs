@@ -1,0 +1,27 @@
+//! Figs. 6–9 — communication overhead vs computing qubits per QPU for
+//! qugan_n111, qft_n160, multiplier_n75 and qv_n100.
+
+use cloudqc_experiments::runs::fig06_09_data;
+use cloudqc_experiments::table::fmt_num;
+use cloudqc_experiments::{ExpArgs, Table};
+
+fn main() {
+    let args = ExpArgs::parse();
+    println!(
+        "Figs. 6-9: communication overhead vs # computing qubits per QPU\n(mean over {} topology samples, seed {})\n",
+        args.reps, args.seed
+    );
+    for fig in fig06_09_data(&args) {
+        println!("--- {} ---", fig.circuit);
+        let mut headers = vec!["#computing".to_string()];
+        headers.extend(fig.series.iter().map(|(m, _)| m.clone()));
+        let mut t = Table::new(headers);
+        for (i, &x) in fig.x.iter().enumerate() {
+            let mut row = vec![fmt_num(x)];
+            row.extend(fig.series.iter().map(|(_, ys)| fmt_num(ys[i])));
+            t.row(row);
+        }
+        t.print();
+        println!();
+    }
+}

@@ -1,0 +1,27 @@
+//! Figs. 10–13 — mean job completion time vs communication qubits per
+//! QPU for qugan_n111, qft_n160, multiplier_n75 and qv_n100.
+
+use cloudqc_experiments::runs::fig10_13_data;
+use cloudqc_experiments::table::fmt_num;
+use cloudqc_experiments::{ExpArgs, Table};
+
+fn main() {
+    let args = ExpArgs::parse();
+    println!(
+        "Figs. 10-13: mean JCT (ticks) vs # communication qubits\n(CloudQC placement, mean over {} runs, seed {})\n",
+        args.reps, args.seed
+    );
+    for fig in fig10_13_data(&args) {
+        println!("--- {} ---", fig.circuit);
+        let mut headers = vec!["#comm".to_string()];
+        headers.extend(fig.series.iter().map(|(m, _)| m.clone()));
+        let mut t = Table::new(headers);
+        for (i, &x) in fig.x.iter().enumerate() {
+            let mut row = vec![fmt_num(x)];
+            row.extend(fig.series.iter().map(|(_, ys)| fmt_num(ys[i])));
+            t.row(row);
+        }
+        t.print();
+        println!();
+    }
+}

@@ -1,0 +1,33 @@
+//! Figs. 14–17 — multi-tenant job-completion-time CDFs for the Mixed,
+//! QFT, Qugan and Arithmetic workloads.
+
+use cloudqc_experiments::runs::fig14_17_data;
+use cloudqc_experiments::table::fmt_num;
+use cloudqc_experiments::{ExpArgs, Table};
+
+fn main() {
+    let args = ExpArgs::parse();
+    println!(
+        "Figs. 14-17: multi-tenant JCT CDFs (ticks), seed {}{}\n",
+        args.seed,
+        if args.paper {
+            " (paper scale: 50 batches x 20 jobs x 20 topologies)"
+        } else {
+            " (reduced scale; use --paper for 50x20x20)"
+        }
+    );
+    let quantiles = [0.10, 0.25, 0.50, 0.75, 0.88, 0.95, 1.00];
+    for fig in fig14_17_data(&args) {
+        println!("--- {} workload ---", fig.workload);
+        let mut headers = vec!["CDF".to_string()];
+        headers.extend(fig.series.iter().map(|(m, _)| m.clone()));
+        let mut t = Table::new(headers);
+        for &q in &quantiles {
+            let mut row = vec![format!("{:.0}%", q * 100.0)];
+            row.extend(fig.series.iter().map(|(_, cdf)| fmt_num(cdf.quantile(q))));
+            t.row(row);
+        }
+        t.print();
+        println!();
+    }
+}

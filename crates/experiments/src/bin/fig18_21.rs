@@ -1,0 +1,27 @@
+//! Figs. 18–21 — mean job completion time vs EPR success probability
+//! for qugan_n111, qft_n160, multiplier_n75 and qv_n100.
+
+use cloudqc_experiments::runs::fig18_21_data;
+use cloudqc_experiments::table::fmt_num;
+use cloudqc_experiments::{ExpArgs, Table};
+
+fn main() {
+    let args = ExpArgs::parse();
+    println!(
+        "Figs. 18-21: mean JCT (ticks) vs EPR success probability\n(CloudQC placement, mean over {} runs, seed {})\n",
+        args.reps, args.seed
+    );
+    for fig in fig18_21_data(&args) {
+        println!("--- {} ---", fig.circuit);
+        let mut headers = vec!["EPR p".to_string()];
+        headers.extend(fig.series.iter().map(|(m, _)| m.clone()));
+        let mut t = Table::new(headers);
+        for (i, &x) in fig.x.iter().enumerate() {
+            let mut row = vec![format!("{x:.2}")];
+            row.extend(fig.series.iter().map(|(_, ys)| fmt_num(ys[i])));
+            t.row(row);
+        }
+        t.print();
+        println!();
+    }
+}

@@ -1,0 +1,23 @@
+//! Fig. 22 — relative job completion time of each network scheduler
+//! under the default setting, normalized to CloudQC.
+
+use cloudqc_experiments::runs::fig22_data;
+use cloudqc_experiments::{ExpArgs, Table};
+
+fn main() {
+    let args = ExpArgs::parse();
+    println!(
+        "Fig. 22: relative JCT per scheduler, default setting\n(CloudQC placement, normalized to the CloudQC scheduler; mean over {} runs, seed {})\n",
+        args.reps, args.seed
+    );
+    let data = fig22_data(&args);
+    let mut headers = vec!["Circuit".to_string()];
+    headers.extend(data.methods.iter().cloned());
+    let mut t = Table::new(headers);
+    for (circuit, values) in &data.rows {
+        let mut row = vec![circuit.clone()];
+        row.extend(values.iter().map(|v| format!("{v:.2}")));
+        t.row(row);
+    }
+    t.print();
+}

@@ -1,0 +1,74 @@
+//! Incoming-job mode (paper §V.B): jobs arrive as a Poisson process and
+//! are processed FIFO. Sweeps the arrival rate to show queueing-delay
+//! growth as the cloud saturates — an extension experiment beyond the
+//! paper's batch-mode figures.
+
+use cloudqc_circuit::generators::catalog;
+use cloudqc_cloud::CloudBuilder;
+use cloudqc_core::placement::{CloudQcBfsPlacement, CloudQcPlacement, PlacementAlgorithm};
+use cloudqc_core::schedule::CloudQcScheduler;
+use cloudqc_core::tenant::{poisson_arrivals, run_incoming};
+use cloudqc_experiments::table::fmt_num;
+use cloudqc_experiments::{ExpArgs, Table};
+use cloudqc_sim::metrics::Summary;
+use cloudqc_sim::SimRng;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let jobs_n = if args.paper { 40 } else { 12 };
+    println!(
+        "Incoming-job mode: JCT vs arrival rate ({jobs_n} Poisson arrivals, mean over {} runs, seed {})\n",
+        args.reps, args.seed
+    );
+    let pool: Vec<_> = ["qugan_n39", "knn_n67", "adder_n64", "ising_n66", "qft_n29"]
+        .iter()
+        .map(|n| catalog::by_name(n).expect("catalog circuit"))
+        .collect();
+    let variants: Vec<(&str, Box<dyn PlacementAlgorithm>)> = vec![
+        ("CloudQC", Box::new(CloudQcPlacement::default())),
+        ("CloudQC-BFS", Box::new(CloudQcBfsPlacement::default())),
+    ];
+    let mut t = Table::new(vec![
+        "mean inter-arrival".to_string(),
+        "method".to_string(),
+        "mean JCT".to_string(),
+        "p95 JCT".to_string(),
+        "mean queue delay".to_string(),
+    ]);
+    for &interarrival in &[50_000.0, 20_000.0, 5_000.0, 1_000.0] {
+        for (name, algo) in &variants {
+            let mut jcts: Vec<f64> = Vec::new();
+            let mut delays: Vec<f64> = Vec::new();
+            for rep in 0..args.reps {
+                let run_seed = SimRng::new(args.seed).fork_indexed(name, rep as u64).seed();
+                let cloud = CloudBuilder::paper_default(
+                    SimRng::new(args.seed).fork_indexed("topo", rep as u64).seed(),
+                )
+                .build();
+                let arrivals = poisson_arrivals(jobs_n, interarrival, run_seed);
+                let jobs: Vec<_> = arrivals
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &t)| (pool[i % pool.len()].clone(), t))
+                    .collect();
+                let run = run_incoming(&jobs, &cloud, algo.as_ref(), &CloudQcScheduler, run_seed)
+                    .expect("incoming run completes");
+                for o in &run.outcomes {
+                    jcts.push(o.completion_time.as_ticks() as f64);
+                    delays.push((o.admitted_at - o.arrived_at) as f64);
+                }
+            }
+            let jct = Summary::of(&jcts).expect("non-empty");
+            let delay = Summary::of(&delays).expect("non-empty");
+            t.row(vec![
+                fmt_num(interarrival),
+                name.to_string(),
+                fmt_num(jct.mean),
+                fmt_num(jct.p95),
+                fmt_num(delay.mean),
+            ]);
+        }
+    }
+    t.print();
+    println!("\nShorter inter-arrival = heavier load: queueing delay should dominate JCT\nas the cloud saturates.");
+}

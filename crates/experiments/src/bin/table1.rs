@@ -1,0 +1,36 @@
+//! Table I — summary of operations and latency.
+
+use cloudqc_cloud::LatencyModel;
+use cloudqc_experiments::Table;
+
+fn main() {
+    let m = LatencyModel::default();
+    let cx = m.two_qubit() as f64;
+    println!("Table I: operation latencies (1 CX = {} ticks)\n", m.two_qubit());
+    let mut t = Table::new(vec!["Operation", "Ticks", "In CX units", "Paper"]);
+    t.row(vec![
+        "Single-qubit gates".into(),
+        m.single_qubit().to_string(),
+        format!("{:.1}", m.single_qubit() as f64 / cx),
+        "~0.1 CX".into(),
+    ]);
+    t.row(vec![
+        "CX and CZ gates".into(),
+        m.two_qubit().to_string(),
+        format!("{:.1}", 1.0),
+        "1 CX".into(),
+    ]);
+    t.row(vec![
+        "Measure".into(),
+        m.measure().to_string(),
+        format!("{:.1}", m.measure() as f64 / cx),
+        "~5 CX".into(),
+    ]);
+    t.row(vec![
+        "EPR preparation (per attempt)".into(),
+        m.epr_attempt().to_string(),
+        format!("{:.1}", m.epr_attempt() as f64 / cx),
+        "~10 CX".into(),
+    ]);
+    t.print();
+}

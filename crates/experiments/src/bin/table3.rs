@@ -1,0 +1,26 @@
+//! Table III — number of remote operations of single-circuit placement,
+//! five methods × the Table II benchmarks.
+
+use cloudqc_experiments::runs::table3_data;
+use cloudqc_experiments::table::fmt_num;
+use cloudqc_experiments::{ExpArgs, Table};
+
+fn main() {
+    let args = ExpArgs::parse();
+    println!(
+        "Table III: remote operations of single-circuit placement\n(mean over {} topology samples, seed {}{})\n",
+        args.reps,
+        args.seed,
+        if args.paper { ", paper-scale SA/GA" } else { ", quick SA/GA (use --paper for full)" }
+    );
+    let data = table3_data(&args);
+    let mut headers = vec!["Circuit".to_string()];
+    headers.extend(data.methods.iter().cloned());
+    let mut t = Table::new(headers);
+    for (circuit, values) in &data.rows {
+        let mut row = vec![circuit.clone()];
+        row.extend(values.iter().map(|&v| fmt_num(v)));
+        t.row(row);
+    }
+    t.print();
+}

@@ -1,0 +1,31 @@
+//! Experiment harness for the CloudQC reproduction.
+//!
+//! Every table and figure of the paper's evaluation (§VI) has a
+//! corresponding binary in `src/bin/`; the measurement logic lives here
+//! so integration tests can assert the *shape* of each result (who
+//! wins, monotonicity, crossovers) at reduced scale:
+//!
+//! | Binary      | Paper artefact                                         |
+//! |-------------|--------------------------------------------------------|
+//! | `table1`    | Table I — operation latencies                          |
+//! | `table2`    | Table II — circuit characteristics (paper vs measured) |
+//! | `table3`    | Table III — remote ops of single-circuit placement     |
+//! | `fig06_09`  | Figs. 6–9 — comm overhead vs computing qubits/QPU      |
+//! | `fig10_13`  | Figs. 10–13 — JCT vs communication qubits              |
+//! | `fig14_17`  | Figs. 14–17 — multi-tenant JCT CDFs                    |
+//! | `fig18_21`  | Figs. 18–21 — JCT vs EPR success probability           |
+//! | `fig22`     | Fig. 22 — relative JCT per scheduler, default setting  |
+//!
+//! Defaults run in minutes on a laptop; pass `--paper` for the paper's
+//! full configuration and `--seed`/`--reps` to vary sampling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod registry;
+pub mod runs;
+pub mod table;
+
+pub use args::ExpArgs;
+pub use table::Table;

@@ -1,0 +1,166 @@
+//! Method and workload registries shared by the experiment binaries.
+
+use cloudqc_circuit::generators::catalog;
+use cloudqc_circuit::Circuit;
+use cloudqc_core::placement::{
+    AnnealingPlacement, CloudQcBfsPlacement, CloudQcPlacement, GeneticPlacement,
+    PlacementAlgorithm, RandomPlacement,
+};
+use cloudqc_core::schedule::{
+    AverageScheduler, CloudQcScheduler, GreedyScheduler, RandomScheduler, Scheduler,
+};
+
+/// The five placement methods of Table III, in the paper's column order
+/// (SA, Random, GA, CdQC-BFS, CdQC).
+pub fn placement_methods() -> Vec<Box<dyn PlacementAlgorithm>> {
+    vec![
+        Box::new(AnnealingPlacement::default()),
+        Box::new(RandomPlacement),
+        Box::new(GeneticPlacement::default()),
+        Box::new(CloudQcBfsPlacement::default()),
+        Box::new(CloudQcPlacement::default()),
+    ]
+}
+
+/// Cheaper SA/GA settings for reduced-scale sweeps (same algorithms,
+/// fewer iterations — the paper itself notes their >1 hour runtimes).
+pub fn placement_methods_quick() -> Vec<Box<dyn PlacementAlgorithm>> {
+    vec![
+        Box::new(AnnealingPlacement {
+            iterations: 4_000,
+            ..AnnealingPlacement::default()
+        }),
+        Box::new(RandomPlacement),
+        Box::new(GeneticPlacement {
+            population: 16,
+            generations: 25,
+            ..GeneticPlacement::default()
+        }),
+        Box::new(CloudQcBfsPlacement::default()),
+        Box::new(CloudQcPlacement::default()),
+    ]
+}
+
+/// The four scheduling policies of §VI.C, in the paper's legend order
+/// (Greedy, Average, Random, CloudQC).
+pub fn schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(GreedyScheduler),
+        Box::new(AverageScheduler),
+        Box::new(RandomScheduler),
+        Box::new(CloudQcScheduler),
+    ]
+}
+
+/// The 20 single-circuit placement benchmarks of Table III (Table II
+/// minus the `qv_n100` row the paper's Table III omits — we keep it, as
+/// the paper's figures use it).
+pub fn table3_circuits() -> Vec<Circuit> {
+    catalog::TABLE2_INSTANCES
+        .iter()
+        .map(|name| catalog::by_name(name).expect("catalog instance"))
+        .collect()
+}
+
+/// The four representative circuits of Figs. 6–13 and 18–21.
+pub fn representative_circuits() -> Vec<Circuit> {
+    ["qugan_n111", "qft_n160", "multiplier_n75", "qv_n100"]
+        .iter()
+        .map(|n| catalog::by_name(n).expect("catalog instance"))
+        .collect()
+}
+
+/// The ten circuits of Fig. 22. The paper's axis lists `100.qasm`,
+/// which we read as the 100-qubit Quantum Volume instance (`qv_n100`)
+/// used throughout its other figures.
+pub fn fig22_circuits() -> Vec<Circuit> {
+    [
+        "knn_n129",
+        "qugan_n111",
+        "qft_n63",
+        "qft_n160",
+        "vqe_uccsd_n28",
+        "qv_n100",
+        "adder_n64",
+        "adder_n118",
+        "multiplier_n45",
+        "multiplier_n75",
+    ]
+    .iter()
+    .map(|n| catalog::by_name(n).expect("catalog instance"))
+    .collect()
+}
+
+/// A named multi-tenant workload (paper §VI.D).
+pub struct Workload {
+    /// Workload name as the paper labels the figure.
+    pub name: &'static str,
+    /// Candidate circuits jobs are drawn from.
+    pub circuits: Vec<Circuit>,
+}
+
+/// The four multi-tenant workloads of Figs. 14–17.
+pub fn multi_tenant_workloads() -> Vec<Workload> {
+    let pick = |names: &[&str]| -> Vec<Circuit> {
+        names
+            .iter()
+            .map(|n| catalog::by_name(n).expect("catalog instance"))
+            .collect()
+    };
+    vec![
+        Workload {
+            name: "Mixed",
+            circuits: pick(&[
+                "knn_n129",
+                "qugan_n111",
+                "qugan_n71",
+                "qft_n63",
+                "multiplier_n45",
+                "multiplier_n75",
+            ]),
+        },
+        Workload {
+            name: "QFT",
+            circuits: pick(&["qft_n29", "qft_n63", "qft_n100"]),
+        },
+        Workload {
+            name: "Qugan",
+            circuits: pick(&["qugan_n39", "qugan_n71", "qugan_n111"]),
+        },
+        Workload {
+            name: "Arithmetic",
+            circuits: pick(&["adder_n64", "adder_n118", "multiplier_n45", "multiplier_n75"]),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registries_are_complete() {
+        assert_eq!(placement_methods().len(), 5);
+        assert_eq!(placement_methods_quick().len(), 5);
+        assert_eq!(schedulers().len(), 4);
+        assert_eq!(table3_circuits().len(), 21);
+        assert_eq!(representative_circuits().len(), 4);
+        assert_eq!(fig22_circuits().len(), 10);
+        assert_eq!(multi_tenant_workloads().len(), 4);
+    }
+
+    #[test]
+    fn method_names_match_paper_columns() {
+        let names: Vec<&str> = placement_methods().iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["SA", "Random", "GA", "CloudQC-BFS", "CloudQC"]);
+        let sched: Vec<&str> = schedulers().iter().map(|s| s.name()).collect();
+        assert_eq!(sched, vec!["Greedy", "Average", "Random", "CloudQC"]);
+    }
+
+    #[test]
+    fn workloads_have_circuits() {
+        for w in multi_tenant_workloads() {
+            assert!(!w.circuits.is_empty(), "{}", w.name);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Harness-level shape tests: run the measurement routines at minimum
+//! scale and assert the paper's qualitative conclusions.
+
+use cloudqc_experiments::runs::{fig22_data, table3_data};
+use cloudqc_experiments::ExpArgs;
+
+fn tiny() -> ExpArgs {
+    ExpArgs {
+        seed: 5,
+        reps: 1,
+        paper: false,
+    }
+}
+
+#[test]
+fn table3_cloudqc_dominates_structured_circuits() {
+    let data = table3_data(&tiny());
+    assert_eq!(data.rows.len(), 21);
+    // On chain/star circuits CloudQC must beat Random decisively.
+    for circuit in ["ghz_n127", "cat_n130", "ising_n98", "adder_n64"] {
+        let cq = data.value(circuit, "CloudQC").unwrap();
+        let rnd = data.value(circuit, "Random").unwrap();
+        assert!(
+            cq < rnd / 2.0,
+            "{circuit}: CloudQC {cq} not well below Random {rnd}"
+        );
+    }
+    // Nobody beats CloudQC by a wide margin anywhere.
+    for (circuit, values) in &data.rows {
+        let cq = *values.last().unwrap();
+        let best_other = values[..values.len() - 1]
+            .iter()
+            .fold(f64::INFINITY, |a, &b| a.min(b));
+        assert!(
+            cq <= best_other * 1.15 + 1.0,
+            "{circuit}: CloudQC {cq} far above best {best_other}"
+        );
+    }
+}
+
+#[test]
+fn fig22_greedy_worst_on_qft() {
+    let args = ExpArgs {
+        seed: 3,
+        reps: 1,
+        paper: false,
+    };
+    let data = fig22_data(&args);
+    // Relative values: CloudQC is 1.0 by construction.
+    for (circuit, values) in &data.rows {
+        let cloudqc = *values.last().unwrap();
+        assert!((cloudqc - 1.0).abs() < 1e-9, "{circuit}");
+    }
+    let greedy_qft = data.value("qft_n63", "Greedy").unwrap();
+    assert!(
+        greedy_qft > 1.3,
+        "Greedy should trail CloudQC markedly on qft_n63, got {greedy_qft}"
+    );
+}

@@ -1,0 +1,242 @@
+//! The Louvain method for modularity maximization.
+
+use super::Communities;
+use crate::Graph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Runs the Louvain method: local moving of nodes between communities to
+/// maximize modularity gain, followed by graph aggregation, repeated
+/// until the community count stops shrinking.
+///
+/// Deterministic for a fixed `seed` (node visit order is shuffled with a
+/// seeded RNG). Isolated nodes end up in singleton communities.
+///
+/// # Example
+///
+/// ```
+/// use cloudqc_graph::{Graph, community::louvain};
+///
+/// // A 4-clique and a 3-clique joined by one edge.
+/// let mut g = Graph::new(7);
+/// for a in 0..4 { for b in (a+1)..4 { g.add_edge(a, b, 1.0); } }
+/// for a in 4..7 { for b in (a+1)..7 { g.add_edge(a, b, 1.0); } }
+/// g.add_edge(3, 4, 1.0);
+/// let c = louvain(&g, 0);
+/// assert_eq!(c.community_count(), 2);
+/// assert_eq!(c.community_of(0), c.community_of(3));
+/// assert_eq!(c.community_of(4), c.community_of(6));
+/// ```
+pub fn louvain(graph: &Graph, seed: u64) -> Communities {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = graph.node_count();
+    if n == 0 {
+        return Communities::from_assignment(&[]);
+    }
+    let mut membership: Vec<usize> = (0..n).collect();
+    let mut working = graph.clone();
+    // Weight of edges *inside* each supernode, lost by `Graph::contract`
+    // but required for correct modularity at coarser levels.
+    let mut loops: Vec<f64> = vec![0.0; n];
+
+    loop {
+        let local = local_moving(&working, &loops, &mut rng);
+        let dense = dense_map(&local);
+        let count = dense.iter().filter(|&&d| d != usize::MAX).count();
+        // Project onto the original membership.
+        for slot in membership.iter_mut() {
+            *slot = dense[local[*slot]];
+        }
+        if count == working.node_count() {
+            break; // no aggregation progress: converged
+        }
+        // Aggregate: new self-loop weight = old loops + intra-community
+        // edges.
+        let assignment: Vec<usize> = local.iter().map(|&c| dense[c]).collect();
+        let mut new_loops = vec![0.0f64; count];
+        for (u, &c) in assignment.iter().enumerate() {
+            new_loops[c] += loops[u];
+        }
+        for (u, v, w) in working.edges() {
+            if assignment[u] == assignment[v] {
+                new_loops[assignment[u]] += w;
+            }
+        }
+        working = working.contract(&assignment, count);
+        loops = new_loops;
+        if working.node_count() <= 1 {
+            break;
+        }
+    }
+    Communities::from_assignment(&membership)
+}
+
+/// One phase of local moving. `loops[u]` is the internal edge weight of
+/// supernode `u` (counted once). Returns `community[u]` per working node
+/// (ids are arbitrary node indices, not dense).
+fn local_moving(graph: &Graph, loops: &[f64], rng: &mut StdRng) -> Vec<usize> {
+    let n = graph.node_count();
+    let loop_total: f64 = loops.iter().sum();
+    let two_m = 2.0 * (graph.total_edge_weight() + loop_total);
+    let mut community: Vec<usize> = (0..n).collect();
+    if two_m == 0.0 {
+        return community;
+    }
+    // k[u]: total weighted degree including the self-loop counted twice
+    // (both endpoints inside u).
+    let k: Vec<f64> = (0..n)
+        .map(|u| graph.weighted_degree(u) + 2.0 * loops[u])
+        .collect();
+    let mut sigma_tot: Vec<f64> = k.clone();
+
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut improved = true;
+    let mut rounds = 0;
+    while improved && rounds < 64 {
+        improved = false;
+        rounds += 1;
+        order.shuffle(rng);
+        for &u in &order {
+            let current = community[u];
+            // Connection weight from u to each neighboring community.
+            let mut conn: Vec<(usize, f64)> = Vec::new();
+            for &(v, w) in graph.neighbors(u) {
+                let c = community[v];
+                match conn.iter_mut().find(|(cc, _)| *cc == c) {
+                    Some(slot) => slot.1 += w,
+                    None => conn.push((c, w)),
+                }
+            }
+            let conn_current = conn
+                .iter()
+                .find(|(c, _)| *c == current)
+                .map_or(0.0, |(_, w)| *w);
+            // Remove u from its community, then compare gains of joining
+            // each candidate (staying = rejoining `current`):
+            //   ΔQ ∝ conn(u, c) − k_u · Σ_tot(c) / 2m
+            sigma_tot[current] -= k[u];
+            let stay = conn_current - k[u] * sigma_tot[current] / two_m;
+            let mut best = (current, stay);
+            for &(c, w) in &conn {
+                if c == current {
+                    continue;
+                }
+                let gain = w - k[u] * sigma_tot[c] / two_m;
+                if gain > best.1 + 1e-12 {
+                    best = (c, gain);
+                }
+            }
+            community[u] = best.0;
+            sigma_tot[best.0] += k[u];
+            if best.0 != current {
+                improved = true;
+            }
+        }
+    }
+    community
+}
+
+/// Maps arbitrary community ids to dense `0..count` in order of first
+/// appearance, returning the lookup table indexed by raw id.
+fn dense_map(raw: &[usize]) -> Vec<usize> {
+    let max = raw.iter().copied().max().unwrap_or(0);
+    let mut map = vec![usize::MAX; max + 1];
+    let mut next = 0;
+    for &c in raw {
+        if map[c] == usize::MAX {
+            map[c] = next;
+            next += 1;
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::community::modularity;
+    use crate::random::gnp_connected;
+
+    fn cliques(sizes: &[usize], bridge_weight: f64) -> Graph {
+        let n: usize = sizes.iter().sum();
+        let mut g = Graph::new(n);
+        let mut offset = 0;
+        let mut firsts = Vec::new();
+        for &sz in sizes {
+            firsts.push(offset);
+            for a in offset..offset + sz {
+                for b in (a + 1)..offset + sz {
+                    g.add_edge(a, b, 1.0);
+                }
+            }
+            offset += sz;
+        }
+        for w in firsts.windows(2) {
+            g.add_edge(w[0], w[1], bridge_weight);
+        }
+        g
+    }
+
+    #[test]
+    fn detects_three_cliques() {
+        let g = cliques(&[5, 5, 5], 1.0);
+        let c = louvain(&g, 0);
+        assert_eq!(c.community_count(), 3, "assignment {:?}", c.assignment());
+        // Each clique is one community.
+        for clique in 0..3 {
+            let base = c.community_of(clique * 5);
+            for i in 0..5 {
+                assert_eq!(c.community_of(clique * 5 + i), base);
+            }
+        }
+    }
+
+    #[test]
+    fn improves_modularity_over_singletons() {
+        let g = gnp_connected(40, 0.1, 5);
+        let c = louvain(&g, 1);
+        let singletons: Vec<usize> = (0..40).collect();
+        assert!(modularity(&g, c.assignment()) >= modularity(&g, &singletons));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let g = gnp_connected(30, 0.15, 2);
+        assert_eq!(louvain(&g, 7), louvain(&g, 7));
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        assert_eq!(louvain(&Graph::new(0), 0).community_count(), 0);
+        assert_eq!(louvain(&Graph::new(1), 0).community_count(), 1);
+    }
+
+    #[test]
+    fn edgeless_graph_gives_singletons() {
+        let c = louvain(&Graph::new(5), 0);
+        assert_eq!(c.community_count(), 5);
+    }
+
+    #[test]
+    fn heavy_bridge_binds_its_endpoints() {
+        // With an overwhelming bridge, the two-triangle split (which cuts
+        // the bridge) is no longer optimal: the bridge endpoints must end
+        // up together, and the result must beat the naive triangle split.
+        let g = cliques(&[3, 3], 50.0);
+        let c = louvain(&g, 0);
+        assert_eq!(c.community_of(0), c.community_of(3));
+        let triangle_split = [0, 0, 0, 1, 1, 1];
+        assert!(modularity(&g, c.assignment()) > modularity(&g, &triangle_split));
+    }
+
+    #[test]
+    fn two_level_aggregation_stays_correct() {
+        // 6 cliques of 4 arranged so the first pass finds 6 communities;
+        // correct self-loop accounting must keep them separate (they are
+        // only weakly bridged).
+        let g = cliques(&[4, 4, 4, 4, 4, 4], 0.5);
+        let c = louvain(&g, 3);
+        assert_eq!(c.community_count(), 6, "assignment {:?}", c.assignment());
+    }
+}

@@ -1,0 +1,109 @@
+//! Newman modularity scoring.
+
+use crate::Graph;
+
+/// Newman modularity `Q` of a community assignment:
+///
+/// `Q = Σ_c [ w_in(c) / m − ( w_deg(c) / 2m )² ]`
+///
+/// where `m` is the total edge weight, `w_in(c)` the weight of edges
+/// internal to community `c`, and `w_deg(c)` the total weighted degree of
+/// its nodes. `Q` lies in `[-0.5, 1)`; higher means denser communities
+/// relative to a random null model.
+///
+/// Returns `0.0` for graphs with no edges.
+///
+/// # Panics
+///
+/// Panics if `assignment.len() != graph.node_count()`.
+pub fn modularity(graph: &Graph, assignment: &[usize]) -> f64 {
+    assert_eq!(
+        assignment.len(),
+        graph.node_count(),
+        "assignment length mismatch"
+    );
+    let m = graph.total_edge_weight();
+    if m == 0.0 {
+        return 0.0;
+    }
+    let communities = assignment.iter().copied().max().map_or(0, |c| c + 1);
+    let mut internal = vec![0.0f64; communities];
+    let mut degree = vec![0.0f64; communities];
+    for (u, v, w) in graph.edges() {
+        if assignment[u] == assignment[v] {
+            internal[assignment[u]] += w;
+        }
+    }
+    for u in graph.nodes() {
+        degree[assignment[u]] += graph.weighted_degree(u);
+    }
+    (0..communities)
+        .map(|c| internal[c] / m - (degree[c] / (2.0 * m)).powi(2))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_triangles() -> Graph {
+        Graph::from_edges(
+            6,
+            [
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 0, 1.0),
+                (3, 4, 1.0),
+                (4, 5, 1.0),
+                (5, 3, 1.0),
+                (2, 3, 1.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn all_in_one_community_is_zero() {
+        let g = two_triangles();
+        let q = modularity(&g, &[0; 6]);
+        assert!(q.abs() < 1e-12, "Q = {q}");
+    }
+
+    #[test]
+    fn natural_split_beats_one_community() {
+        let g = two_triangles();
+        let q = modularity(&g, &[0, 0, 0, 1, 1, 1]);
+        assert!(q > 0.3, "Q = {q}");
+    }
+
+    #[test]
+    fn bad_split_scores_worse() {
+        let g = two_triangles();
+        let good = modularity(&g, &[0, 0, 0, 1, 1, 1]);
+        let bad = modularity(&g, &[0, 1, 0, 1, 0, 1]);
+        assert!(good > bad);
+    }
+
+    #[test]
+    fn singleton_communities_negative() {
+        let g = two_triangles();
+        let q = modularity(&g, &[0, 1, 2, 3, 4, 5]);
+        assert!(q < 0.0, "Q = {q}");
+    }
+
+    #[test]
+    fn edgeless_graph_scores_zero() {
+        let g = Graph::new(4);
+        assert_eq!(modularity(&g, &[0, 1, 0, 1]), 0.0);
+    }
+
+    #[test]
+    fn weighted_edges_shift_modularity() {
+        // A heavy bridge makes the two-triangle split less attractive.
+        let mut g = two_triangles();
+        g.add_edge(2, 3, 20.0); // bridge weight now 21
+        let q_split = modularity(&g, &[0, 0, 0, 1, 1, 1]);
+        let q_whole = modularity(&g, &[0; 6]);
+        assert!(q_split < 0.1);
+        assert!((q_whole - 0.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,54 @@
+//! Graph substrate for the CloudQC reproduction.
+//!
+//! This crate provides every graph algorithm the CloudQC framework relies
+//! on, implemented from scratch:
+//!
+//! * [`Graph`] — a compact undirected weighted graph with node weights,
+//!   used both for circuit *interaction graphs* (nodes = qubits, edge
+//!   weight = number of two-qubit gates, the paper's `D_ij`) and for the
+//!   *QPU topology* (nodes = QPUs, edges = quantum links).
+//! * [`DiGraph`] — a directed graph with DAG utilities (topological
+//!   order, longest path to a leaf, front layers) used for gate
+//!   dependency DAGs and the remote DAG of the network scheduler.
+//! * [`partition`] — a METIS-style multilevel k-way partitioner with a
+//!   tunable imbalance factor, standing in for PyMetis in the paper's
+//!   pipeline (Algorithm 1, "graph partition" step).
+//! * [`community`] — Newman-modularity community detection via the
+//!   Louvain method, used to find feasible QPU sets (Algorithm 2).
+//! * [`center`], [`traversal`], [`paths`] — graph centers, BFS layers and
+//!   hop-distance matrices used by the partition→QPU mapping heuristic
+//!   and by the communication cost `C_ij` (shortest-path length).
+//! * [`random`] — seeded Erdős–Rényi topologies matching the paper's
+//!   evaluation setting (`G(20, 0.3)` with connectivity repair).
+//!
+//! # Example
+//!
+//! ```
+//! use cloudqc_graph::{Graph, partition::{self, PartitionConfig}};
+//!
+//! // A 6-node ring.
+//! let mut g = Graph::new(6);
+//! for i in 0..6 {
+//!     g.add_edge(i, (i + 1) % 6, 1.0);
+//! }
+//! let parts = partition::partition(&g, &PartitionConfig::new(2)).unwrap();
+//! assert_eq!(parts.part_count(), 2);
+//! // A balanced 2-way cut of a ring crosses exactly two edges.
+//! assert!(partition::edge_cut(&g, parts.assignment()) <= 2.0 + 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod center;
+pub mod community;
+pub mod connectivity;
+pub mod digraph;
+pub mod graph;
+pub mod partition;
+pub mod paths;
+pub mod random;
+pub mod traversal;
+
+pub use digraph::DiGraph;
+pub use graph::Graph;

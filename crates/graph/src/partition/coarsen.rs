@@ -1,0 +1,130 @@
+//! Graph coarsening: repeatedly contract heavy-edge matchings until the
+//! graph is small enough for initial partitioning.
+
+use super::matching::{heavy_edge_matching, matching_to_groups};
+use crate::Graph;
+use rand::rngs::StdRng;
+
+/// One level of the coarsening hierarchy.
+#[derive(Clone, Debug)]
+pub struct Level {
+    /// The coarse graph at this level.
+    pub graph: Graph,
+    /// Maps each node of the *finer* graph to its coarse node.
+    pub fine_to_coarse: Vec<usize>,
+}
+
+/// The full coarsening hierarchy. `levels[0]` coarsens the original
+/// graph; the last level holds the coarsest graph.
+#[derive(Clone, Debug, Default)]
+pub struct Hierarchy {
+    /// Levels from finest (index 0) to coarsest.
+    pub levels: Vec<Level>,
+}
+
+impl Hierarchy {
+    /// The coarsest graph, or `None` if no coarsening happened.
+    pub fn coarsest(&self) -> Option<&Graph> {
+        self.levels.last().map(|l| &l.graph)
+    }
+}
+
+/// Coarsens `graph` until it has at most `target_nodes` nodes or a
+/// matching pass stops making progress (shrink factor < 10%).
+///
+/// `max_part_weight` caps coarse node weights so that no coarse node
+/// outweighs a balanced part (otherwise the initial partition could
+/// never be balanced).
+pub fn coarsen(
+    graph: &Graph,
+    target_nodes: usize,
+    max_node_weight: f64,
+    rng: &mut StdRng,
+) -> Hierarchy {
+    let mut hierarchy = Hierarchy::default();
+    let mut current = graph.clone();
+    while current.node_count() > target_nodes {
+        let mate = heavy_edge_matching(&current, rng, max_node_weight);
+        let (group, count) = matching_to_groups(&mate);
+        // Progress guard: require at least a 10% shrink, otherwise stop
+        // (e.g. star graphs where matchings are tiny).
+        if count as f64 > current.node_count() as f64 * 0.9 {
+            break;
+        }
+        let coarse = current.contract(&group, count);
+        hierarchy.levels.push(Level {
+            graph: coarse.clone(),
+            fine_to_coarse: group,
+        });
+        current = coarse;
+    }
+    hierarchy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ring(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n, 1.0)))
+    }
+
+    #[test]
+    fn coarsen_preserves_total_node_weight() {
+        let g = ring(32);
+        let mut rng = StdRng::seed_from_u64(0);
+        let h = coarsen(&g, 8, f64::INFINITY, &mut rng);
+        assert!(!h.levels.is_empty());
+        for level in &h.levels {
+            assert_eq!(level.graph.total_node_weight(), 32.0);
+        }
+    }
+
+    #[test]
+    fn coarsen_reaches_target() {
+        let g = ring(64);
+        let mut rng = StdRng::seed_from_u64(1);
+        let h = coarsen(&g, 10, f64::INFINITY, &mut rng);
+        let coarsest = h.coarsest().unwrap();
+        assert!(coarsest.node_count() <= 16, "got {}", coarsest.node_count());
+    }
+
+    #[test]
+    fn coarsen_noop_when_small() {
+        let g = ring(4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let h = coarsen(&g, 10, f64::INFINITY, &mut rng);
+        assert!(h.levels.is_empty());
+        assert!(h.coarsest().is_none());
+    }
+
+    #[test]
+    fn fine_to_coarse_maps_are_consistent() {
+        let g = ring(32);
+        let mut rng = StdRng::seed_from_u64(3);
+        let h = coarsen(&g, 8, f64::INFINITY, &mut rng);
+        let mut fine_nodes = 32;
+        for level in &h.levels {
+            assert_eq!(level.fine_to_coarse.len(), fine_nodes);
+            let coarse_nodes = level.graph.node_count();
+            assert!(level.fine_to_coarse.iter().all(|&c| c < coarse_nodes));
+            fine_nodes = coarse_nodes;
+        }
+    }
+
+    #[test]
+    fn node_weight_cap_limits_merging() {
+        let g = ring(16);
+        let mut rng = StdRng::seed_from_u64(4);
+        // Cap at 2.0: nodes can merge once but coarse pairs (weight 2+2)
+        // cannot merge again.
+        let h = coarsen(&g, 2, 2.0, &mut rng);
+        for level in &h.levels {
+            for u in level.graph.nodes() {
+                assert!(level.graph.node_weight(u) <= 2.0);
+            }
+        }
+        assert!(h.coarsest().unwrap().node_count() >= 8);
+    }
+}

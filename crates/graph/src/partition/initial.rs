@@ -1,0 +1,203 @@
+//! Initial partitioning of the coarsest graph via greedy graph growing.
+
+use crate::Graph;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Greedy graph growing: grows `parts - 1` regions one at a time from
+/// random seeds, always absorbing the unassigned node most strongly
+/// connected to the growing region; whatever remains becomes the last
+/// part. Parts stop growing at `target_weight`.
+///
+/// Guarantees: every node is assigned a part `< parts`. If the graph has
+/// at least `parts` nodes, every part is non-empty (enforced by a final
+/// repair step that splits the heaviest parts).
+pub fn greedy_growing(
+    graph: &Graph,
+    parts: usize,
+    target_weight: f64,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    let n = graph.node_count();
+    debug_assert!(parts >= 1);
+    let mut assignment = vec![usize::MAX; n];
+    let mut unassigned = n;
+
+    for part in 0..parts.saturating_sub(1) {
+        if unassigned == 0 {
+            break;
+        }
+        // Random unassigned seed.
+        let seed = {
+            let idx = rng.random_range(0..unassigned);
+            (0..n)
+                .filter(|&u| assignment[u] == usize::MAX)
+                .nth(idx)
+                .expect("unassigned node exists")
+        };
+        assignment[seed] = part;
+        unassigned -= 1;
+        let mut weight = graph.node_weight(seed);
+        // connection[u]: total edge weight from u into the region.
+        let mut connection = vec![0.0f64; n];
+        for &(v, w) in graph.neighbors(seed) {
+            connection[v] += w;
+        }
+        while weight < target_weight && unassigned > 0 {
+            // Strongest-connected unassigned node; fall back to any
+            // unassigned node (disconnected remainder) only if the region
+            // has no frontier at all.
+            let cand = (0..n)
+                .filter(|&u| assignment[u] == usize::MAX)
+                .max_by(|&a, &b| {
+                    connection[a]
+                        .partial_cmp(&connection[b])
+                        .expect("finite connection weights")
+                        .then_with(|| b.cmp(&a)) // prefer lower index on tie
+                })
+                .expect("unassigned node exists");
+            if connection[cand] == 0.0 && weight > 0.0 {
+                // Region is saturated within its component; do not absorb
+                // foreign components into this part.
+                break;
+            }
+            if weight + graph.node_weight(cand) > target_weight && weight > 0.0 {
+                break;
+            }
+            assignment[cand] = part;
+            weight += graph.node_weight(cand);
+            unassigned -= 1;
+            for &(v, w) in graph.neighbors(cand) {
+                if assignment[v] == usize::MAX {
+                    connection[v] += w;
+                }
+            }
+        }
+    }
+
+    // Remainder goes to the last part.
+    for slot in assignment.iter_mut() {
+        if *slot == usize::MAX {
+            *slot = parts - 1;
+        }
+    }
+
+    repair_empty_parts(graph, parts, &mut assignment);
+    assignment
+}
+
+/// Ensures every part is non-empty when `node_count >= parts` by moving
+/// the lightest node out of the heaviest multi-node part into each empty
+/// part.
+fn repair_empty_parts(graph: &Graph, parts: usize, assignment: &mut [usize]) {
+    let n = graph.node_count();
+    if n < parts {
+        return;
+    }
+    loop {
+        let mut sizes = vec![0usize; parts];
+        for &p in assignment.iter() {
+            sizes[p] += 1;
+        }
+        let Some(empty) = sizes.iter().position(|&s| s == 0) else {
+            return;
+        };
+        // Donor: the part with the most nodes.
+        let donor = (0..parts)
+            .max_by_key(|&p| sizes[p])
+            .expect("at least one part");
+        debug_assert!(sizes[donor] >= 2, "pigeonhole: some part has >= 2 nodes");
+        // Lightest node of the donor (least disruptive move).
+        let node = (0..n)
+            .filter(|&u| assignment[u] == donor)
+            .min_by(|&a, &b| {
+                graph
+                    .node_weight(a)
+                    .partial_cmp(&graph.node_weight(b))
+                    .expect("finite node weights")
+                    .then_with(|| a.cmp(&b))
+            })
+            .expect("donor part non-empty");
+        assignment[node] = empty;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn two_cliques() -> Graph {
+        let mut g = Graph::new(8);
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                g.add_edge(a, b, 10.0);
+                g.add_edge(a + 4, b + 4, 10.0);
+            }
+        }
+        g.add_edge(0, 4, 1.0);
+        g
+    }
+
+    #[test]
+    fn all_nodes_assigned() {
+        let g = two_cliques();
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = greedy_growing(&g, 3, 3.0, &mut rng);
+        assert!(a.iter().all(|&p| p < 3));
+        assert_eq!(a.len(), 8);
+    }
+
+    #[test]
+    fn no_empty_parts_when_possible() {
+        let g = two_cliques();
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = greedy_growing(&g, 4, 2.0, &mut rng);
+            let mut seen = [false; 4];
+            for &p in &a {
+                seen[p] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "seed {seed}: empty part in {a:?}");
+        }
+    }
+
+    #[test]
+    fn growing_tracks_clique_structure() {
+        // With target weight 4 the grower should pick up an entire clique
+        // (strong internal connections) before stopping.
+        let g = two_cliques();
+        let mut found_clean_cut = false;
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = greedy_growing(&g, 2, 4.0, &mut rng);
+            let clean = (a[0] == a[1] && a[1] == a[2] && a[2] == a[3])
+                && (a[4] == a[5] && a[5] == a[6] && a[6] == a[7]);
+            if clean {
+                found_clean_cut = true;
+                break;
+            }
+        }
+        assert!(found_clean_cut, "greedy growing never respected the clique structure");
+    }
+
+    #[test]
+    fn single_part_trivial() {
+        let g = two_cliques();
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = greedy_growing(&g, 1, f64::INFINITY, &mut rng);
+        assert!(a.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn handles_disconnected_graph() {
+        let g = Graph::from_edges(6, [(0, 1, 1.0), (2, 3, 1.0), (4, 5, 1.0)]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = greedy_growing(&g, 3, 2.0, &mut rng);
+        let mut seen = [false; 3];
+        for &p in &a {
+            seen[p] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,127 @@
+//! Heavy-edge matching for the coarsening phase.
+
+use crate::Graph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Computes a heavy-edge matching: visits nodes in random order and
+/// matches each unmatched node with its unmatched neighbor of maximum
+/// edge weight (ties: lower index).
+///
+/// Returns `mate[u] = Some(v)` for matched pairs (symmetric) and `None`
+/// for unmatched nodes.
+///
+/// A weight cap keeps coarse nodes from growing unboundedly: a pair is
+/// only matched if the combined node weight stays within `max_weight`.
+pub fn heavy_edge_matching(graph: &Graph, rng: &mut StdRng, max_weight: f64) -> Vec<Option<usize>> {
+    let n = graph.node_count();
+    let mut mate: Vec<Option<usize>> = vec![None; n];
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    for &u in &order {
+        if mate[u].is_some() {
+            continue;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for &(v, w) in graph.neighbors(u) {
+            if mate[v].is_some() {
+                continue;
+            }
+            if graph.node_weight(u) + graph.node_weight(v) > max_weight {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bv, bw)) => w > bw || (w == bw && v < bv),
+            };
+            if better {
+                best = Some((v, w));
+            }
+        }
+        if let Some((v, _)) = best {
+            mate[u] = Some(v);
+            mate[v] = Some(u);
+        }
+    }
+    mate
+}
+
+/// Converts a matching into a dense group map: matched pairs share a
+/// group, unmatched nodes get their own. Returns `(group, group_count)`.
+pub fn matching_to_groups(mate: &[Option<usize>]) -> (Vec<usize>, usize) {
+    let n = mate.len();
+    let mut group = vec![usize::MAX; n];
+    let mut next = 0;
+    for u in 0..n {
+        if group[u] != usize::MAX {
+            continue;
+        }
+        group[u] = next;
+        if let Some(v) = mate[u] {
+            debug_assert_eq!(mate[v], Some(u), "matching not symmetric");
+            group[v] = next;
+        }
+        next += 1;
+    }
+    (group, next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matching_is_symmetric_and_valid() {
+        let g = Graph::from_edges(
+            6,
+            [(0, 1, 5.0), (1, 2, 1.0), (2, 3, 5.0), (3, 4, 1.0), (4, 5, 5.0)],
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let mate = heavy_edge_matching(&g, &mut rng, f64::INFINITY);
+        for u in 0..6 {
+            if let Some(v) = mate[u] {
+                assert_eq!(mate[v], Some(u));
+                assert!(g.has_edge(u, v), "matched non-adjacent pair {u},{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn matching_prefers_heavy_edges() {
+        // Square with two heavy opposite edges: every node's heaviest
+        // incident edge lies in {0-1, 2-3}, so greedy matching must pick
+        // exactly those regardless of visit order.
+        let g = Graph::from_edges(
+            4,
+            [(0, 1, 100.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 100.0)],
+        );
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mate = heavy_edge_matching(&g, &mut rng, f64::INFINITY);
+            assert_eq!(mate[0], Some(1), "seed {seed}");
+            assert_eq!(mate[2], Some(3), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn weight_cap_blocks_matching() {
+        let mut g = Graph::from_edges(2, [(0, 1, 1.0)]);
+        g.set_node_weight(0, 3.0);
+        g.set_node_weight(1, 3.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mate = heavy_edge_matching(&g, &mut rng, 4.0);
+        assert_eq!(mate, vec![None, None]);
+    }
+
+    #[test]
+    fn groups_are_dense() {
+        let mate = vec![Some(1), Some(0), None, Some(4), Some(3)];
+        let (group, count) = matching_to_groups(&mate);
+        assert_eq!(count, 3);
+        assert_eq!(group[0], group[1]);
+        assert_eq!(group[3], group[4]);
+        assert_ne!(group[0], group[2]);
+        assert!(group.iter().all(|&g| g < count));
+    }
+}

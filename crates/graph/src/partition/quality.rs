@@ -1,0 +1,98 @@
+//! Partition quality metrics: edge cut and balance.
+
+use crate::Graph;
+
+/// Total weight of edges whose endpoints lie in different parts.
+///
+/// For interaction graphs this equals the number of remote two-qubit
+/// gates a placement induces (before multiplying by network distance).
+///
+/// # Panics
+///
+/// Panics if `assignment.len() != graph.node_count()`.
+pub fn edge_cut(graph: &Graph, assignment: &[usize]) -> f64 {
+    assert_eq!(
+        assignment.len(),
+        graph.node_count(),
+        "assignment length mismatch"
+    );
+    graph
+        .edges()
+        .filter(|&(u, v, _)| assignment[u] != assignment[v])
+        .map(|(_, _, w)| w)
+        .sum()
+}
+
+/// Node weight of each part.
+///
+/// # Panics
+///
+/// Panics if `assignment.len() != graph.node_count()` or any part index
+/// is `>= parts`.
+pub fn part_weights(graph: &Graph, assignment: &[usize], parts: usize) -> Vec<f64> {
+    assert_eq!(
+        assignment.len(),
+        graph.node_count(),
+        "assignment length mismatch"
+    );
+    let mut weights = vec![0.0f64; parts];
+    for (u, &p) in assignment.iter().enumerate() {
+        assert!(p < parts, "part index {p} out of range");
+        weights[p] += graph.node_weight(u);
+    }
+    weights
+}
+
+/// Balance of a partition: `max_part_weight / (total_weight / parts)`.
+///
+/// A perfectly balanced partition scores `1.0`; a partition satisfying
+/// imbalance factor `α` scores at most `1 + α`. Returns `0.0` for empty
+/// graphs.
+pub fn balance(graph: &Graph, assignment: &[usize], parts: usize) -> f64 {
+    let total = graph.total_node_weight();
+    if total == 0.0 || parts == 0 {
+        return 0.0;
+    }
+    let max = part_weights(graph, assignment, parts)
+        .into_iter()
+        .fold(0.0f64, f64::max);
+    max / (total / parts as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        Graph::from_edges(4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)])
+    }
+
+    #[test]
+    fn edge_cut_counts_cross_edges() {
+        let g = path4();
+        assert_eq!(edge_cut(&g, &[0, 0, 1, 1]), 2.0);
+        assert_eq!(edge_cut(&g, &[0, 1, 0, 1]), 6.0);
+        assert_eq!(edge_cut(&g, &[0, 0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn part_weights_sum_to_total() {
+        let mut g = path4();
+        g.set_node_weight(3, 5.0);
+        let w = part_weights(&g, &[0, 0, 1, 1], 2);
+        assert_eq!(w, vec![2.0, 6.0]);
+    }
+
+    #[test]
+    fn balance_perfect_and_skewed() {
+        let g = path4();
+        assert_eq!(balance(&g, &[0, 0, 1, 1], 2), 1.0);
+        assert_eq!(balance(&g, &[0, 0, 0, 1], 2), 1.5);
+    }
+
+    #[test]
+    fn balance_empty_graph() {
+        let g = Graph::new(0);
+        assert_eq!(balance(&g, &[], 2), 0.0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Kernighan–Lin / Fiduccia–Mattheyses style boundary refinement.
+
+use crate::Graph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// One refinement sweep: visits nodes in random order and greedily moves
+/// boundary nodes to the adjacent part with the highest positive gain,
+/// subject to the balance constraint (`max_part_weight`) and to never
+/// emptying a part. Returns the number of moves made.
+///
+/// Gain of moving `u` from part `a` to part `b` = (edge weight from `u`
+/// into `b`) − (edge weight from `u` into `a`): the reduction in edge
+/// cut. Zero-gain moves are taken only when they strictly improve
+/// balance, which lets the pass escape plateaus without oscillating.
+pub fn refine_pass(
+    graph: &Graph,
+    assignment: &mut [usize],
+    parts: usize,
+    max_part_weight: f64,
+    rng: &mut StdRng,
+) -> usize {
+    let n = graph.node_count();
+    debug_assert_eq!(assignment.len(), n);
+
+    let mut part_weight = vec![0.0f64; parts];
+    let mut part_size = vec![0usize; parts];
+    for (u, &p) in assignment.iter().enumerate() {
+        part_weight[p] += graph.node_weight(u);
+        part_size[p] += 1;
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+
+    let mut moves = 0;
+    let mut conn = vec![0.0f64; parts]; // reused scratch
+    for &u in &order {
+        let from = assignment[u];
+        if part_size[from] <= 1 {
+            continue; // never empty a part
+        }
+        // Connection weight of u to each adjacent part.
+        let mut touched: Vec<usize> = Vec::new();
+        for &(v, w) in graph.neighbors(u) {
+            let p = assignment[v];
+            if conn[p] == 0.0 {
+                touched.push(p);
+            }
+            conn[p] += w;
+        }
+        let internal = conn[from];
+        let uw = graph.node_weight(u);
+        let mut best: Option<(usize, f64)> = None;
+        for &p in &touched {
+            if p == from {
+                continue;
+            }
+            if part_weight[p] + uw > max_part_weight {
+                continue;
+            }
+            let gain = conn[p] - internal;
+            let improves_balance = part_weight[p] + uw < part_weight[from];
+            let acceptable = gain > 0.0 || (gain == 0.0 && improves_balance);
+            if !acceptable {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bp, bg)) => gain > bg || (gain == bg && p < bp),
+            };
+            if better {
+                best = Some((p, gain));
+            }
+        }
+        if let Some((to, _)) = best {
+            assignment[u] = to;
+            part_weight[from] -= uw;
+            part_weight[to] += uw;
+            part_size[from] -= 1;
+            part_size[to] += 1;
+            moves += 1;
+        }
+        // Reset scratch.
+        for &p in &touched {
+            conn[p] = 0.0;
+        }
+    }
+    moves
+}
+
+/// Forces the partition under the balance cap: while some part exceeds
+/// `max_part_weight`, moves the node from an overweight part whose
+/// removal costs the least cut increase into the lightest part that can
+/// take it. Returns the number of moves.
+///
+/// Termination: each move strictly decreases the weight of an overweight
+/// part and targets a part that stays below the source's weight, so the
+/// sorted weight vector decreases lexicographically.
+pub fn rebalance(
+    graph: &Graph,
+    assignment: &mut [usize],
+    parts: usize,
+    max_part_weight: f64,
+) -> usize {
+    let n = graph.node_count();
+    let mut part_weight = vec![0.0f64; parts];
+    let mut part_size = vec![0usize; parts];
+    for (u, &p) in assignment.iter().enumerate() {
+        part_weight[p] += graph.node_weight(u);
+        part_size[p] += 1;
+    }
+    let mut moves = 0;
+    loop {
+        let Some(heavy) = (0..parts)
+            .filter(|&p| part_weight[p] > max_part_weight && part_size[p] > 1)
+            .max_by(|&a, &b| {
+                part_weight[a]
+                    .partial_cmp(&part_weight[b])
+                    .expect("finite weights")
+            })
+        else {
+            return moves;
+        };
+        // Best (node, target) pair: least cut damage, then lightest
+        // target.
+        let mut best: Option<(usize, usize, f64)> = None; // (node, to, gain)
+        for u in 0..n {
+            if assignment[u] != heavy {
+                continue;
+            }
+            let uw = graph.node_weight(u);
+            let mut conn = vec![0.0f64; parts];
+            for &(v, w) in graph.neighbors(u) {
+                conn[assignment[v]] += w;
+            }
+            for to in 0..parts {
+                if to == heavy || part_weight[to] + uw >= part_weight[heavy] {
+                    continue;
+                }
+                let gain = conn[to] - conn[heavy];
+                let better = match best {
+                    None => true,
+                    Some((bn, bt, bg)) => {
+                        gain > bg
+                            || (gain == bg && part_weight[to] < part_weight[bt])
+                            || (gain == bg && part_weight[to] == part_weight[bt] && u < bn)
+                    }
+                };
+                if better {
+                    best = Some((u, to, gain));
+                }
+            }
+        }
+        let Some((u, to, _)) = best else {
+            return moves; // no feasible move: give up (cap infeasible)
+        };
+        let uw = graph.node_weight(u);
+        assignment[u] = to;
+        part_weight[heavy] -= uw;
+        part_weight[to] += uw;
+        part_size[heavy] -= 1;
+        part_size[to] += 1;
+        moves += 1;
+    }
+}
+
+/// Runs up to `passes` refinement sweeps, stopping early once a sweep
+/// makes no moves. Returns the total number of moves.
+pub fn refine(
+    graph: &Graph,
+    assignment: &mut [usize],
+    parts: usize,
+    max_part_weight: f64,
+    passes: usize,
+    rng: &mut StdRng,
+) -> usize {
+    let mut total = 0;
+    for _ in 0..passes {
+        let moved = refine_pass(graph, assignment, parts, max_part_weight, rng);
+        total += moved;
+        if moved == 0 {
+            break;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::edge_cut;
+    use rand::SeedableRng;
+
+    fn two_cliques() -> Graph {
+        let mut g = Graph::new(8);
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                g.add_edge(a, b, 10.0);
+                g.add_edge(a + 4, b + 4, 10.0);
+            }
+        }
+        g.add_edge(0, 4, 1.0);
+        g
+    }
+
+    #[test]
+    fn refine_fixes_bad_cut() {
+        let g = two_cliques();
+        // Deliberately terrible assignment: alternate parts.
+        let mut a: Vec<usize> = (0..8).map(|u| u % 2).collect();
+        let before = edge_cut(&g, &a);
+        let mut rng = StdRng::seed_from_u64(0);
+        refine(&g, &mut a, 2, 5.0, 8, &mut rng);
+        let after = edge_cut(&g, &a);
+        assert!(after < before, "cut {before} -> {after}");
+        assert_eq!(after, 1.0, "optimal cut severs only the bridge, got {a:?}");
+    }
+
+    #[test]
+    fn refine_never_empties_parts() {
+        let g = two_cliques();
+        let mut a = vec![0, 1, 1, 1, 1, 1, 1, 1];
+        let mut rng = StdRng::seed_from_u64(1);
+        refine(&g, &mut a, 2, f64::INFINITY, 8, &mut rng);
+        assert!(a.contains(&0));
+        assert!(a.contains(&1));
+    }
+
+    #[test]
+    fn refine_respects_weight_cap() {
+        let g = two_cliques();
+        let mut a: Vec<usize> = (0..8).map(|u| u % 2).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        refine(&g, &mut a, 2, 4.0, 8, &mut rng);
+        let w0 = a.iter().filter(|&&p| p == 0).count();
+        let w1 = a.iter().filter(|&&p| p == 1).count();
+        assert!(w0 <= 4 && w1 <= 4, "weights {w0},{w1} exceed cap");
+    }
+
+    #[test]
+    fn refine_converges() {
+        let g = two_cliques();
+        let mut a = vec![0, 0, 0, 0, 1, 1, 1, 1]; // already optimal
+        let mut rng = StdRng::seed_from_u64(3);
+        let moves = refine_pass(&g, &mut a, 2, 5.0, &mut rng);
+        assert_eq!(moves, 0);
+    }
+}

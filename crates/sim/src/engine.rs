@@ -1,0 +1,124 @@
+//! A minimal event-loop driver.
+
+use crate::queue::EventQueue;
+use crate::time::Tick;
+
+/// A discrete-event simulation: reacts to events, possibly scheduling
+/// more.
+pub trait Simulation {
+    /// The event type.
+    type Event;
+
+    /// Handles one event at `time`; may push follow-up events.
+    fn handle(&mut self, time: Tick, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+/// Runs the simulation until the queue empties, returning the time of
+/// the last processed event (or `Tick::ZERO` if no events ran).
+///
+/// # Panics
+///
+/// Panics if an event is scheduled before the current time (causality
+/// violation — always a bug in the simulation).
+///
+/// # Example
+///
+/// ```
+/// use cloudqc_sim::{engine::{run_to_completion, Simulation}, EventQueue, Tick};
+///
+/// struct Counter { fired: usize }
+/// impl Simulation for Counter {
+///     type Event = u32;
+///     fn handle(&mut self, time: Tick, ev: u32, q: &mut EventQueue<u32>) {
+///         self.fired += 1;
+///         if ev > 0 {
+///             q.push(time + 10, ev - 1); // chain of follow-ups
+///         }
+///     }
+/// }
+///
+/// let mut sim = Counter { fired: 0 };
+/// let mut q = EventQueue::new();
+/// q.push(Tick::ZERO, 3);
+/// let end = run_to_completion(&mut sim, &mut q);
+/// assert_eq!(sim.fired, 4);
+/// assert_eq!(end, Tick::new(30));
+/// ```
+pub fn run_to_completion<S: Simulation>(
+    sim: &mut S,
+    queue: &mut EventQueue<S::Event>,
+) -> Tick {
+    let mut now = Tick::ZERO;
+    while let Some((time, event)) = queue.pop() {
+        assert!(time >= now, "event scheduled in the past: {time} < {now}");
+        now = time;
+        sim.handle(time, event, queue);
+    }
+    now
+}
+
+/// Runs until the queue empties or the next event is after `deadline`;
+/// events after the deadline remain queued. Returns the last processed
+/// time.
+pub fn run_until<S: Simulation>(
+    sim: &mut S,
+    queue: &mut EventQueue<S::Event>,
+    deadline: Tick,
+) -> Tick {
+    let mut now = Tick::ZERO;
+    while queue.peek_time().is_some_and(|t| t <= deadline) {
+        let (time, event) = queue.pop().expect("peeked event exists");
+        assert!(time >= now, "event scheduled in the past: {time} < {now}");
+        now = time;
+        sim.handle(time, event, queue);
+    }
+    now
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo {
+        seen: Vec<(Tick, u8)>,
+    }
+
+    impl Simulation for Echo {
+        type Event = u8;
+
+        fn handle(&mut self, time: Tick, event: u8, queue: &mut EventQueue<u8>) {
+            self.seen.push((time, event));
+            if event == 1 {
+                queue.push(time + 5, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn follow_up_events_run() {
+        let mut sim = Echo { seen: Vec::new() };
+        let mut q = EventQueue::new();
+        q.push(Tick::new(10), 1);
+        let end = run_to_completion(&mut sim, &mut q);
+        assert_eq!(sim.seen, vec![(Tick::new(10), 1), (Tick::new(15), 2)]);
+        assert_eq!(end, Tick::new(15));
+    }
+
+    #[test]
+    fn empty_queue_returns_zero() {
+        let mut sim = Echo { seen: Vec::new() };
+        let mut q = EventQueue::new();
+        assert_eq!(run_to_completion(&mut sim, &mut q), Tick::ZERO);
+    }
+
+    #[test]
+    fn deadline_stops_early() {
+        let mut sim = Echo { seen: Vec::new() };
+        let mut q = EventQueue::new();
+        q.push(Tick::new(10), 0);
+        q.push(Tick::new(100), 0);
+        let end = run_until(&mut sim, &mut q, Tick::new(50));
+        assert_eq!(end, Tick::new(10));
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,155 @@
+//! The time-ordered event queue.
+
+use crate::time::Tick;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    time: Tick,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert for earliest-first, with
+        // insertion order (seq) breaking ties for deterministic replay.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A priority queue of timestamped events with stable FIFO ordering
+/// among events scheduled for the same tick.
+///
+/// # Example
+///
+/// ```
+/// use cloudqc_sim::{EventQueue, Tick};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Tick::new(5), 'b');
+/// q.push(Tick::new(1), 'a');
+/// assert_eq!(q.peek_time(), Some(Tick::new(1)));
+/// assert_eq!(q.pop(), Some((Tick::new(1), 'a')));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: Tick, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(Tick, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Tick> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.len())
+            .field("next_time", &self.peek_time())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(Tick::new(30), 3);
+        q.push(Tick::new(10), 1);
+        q.push(Tick::new(20), 2);
+        assert_eq!(q.pop(), Some((Tick::new(10), 1)));
+        assert_eq!(q.pop(), Some((Tick::new(20), 2)));
+        assert_eq!(q.pop(), Some((Tick::new(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Tick::new(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Tick::new(7), i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = EventQueue::new();
+        q.push(Tick::new(10), 'a');
+        assert_eq!(q.pop(), Some((Tick::new(10), 'a')));
+        q.push(Tick::new(5), 'b');
+        q.push(Tick::new(3), 'c');
+        assert_eq!(q.pop(), Some((Tick::new(3), 'c')));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(Tick::new(1), ());
+        assert_eq!(q.peek_time(), Some(Tick::new(1)));
+        assert_eq!(q.len(), 1);
+    }
+}

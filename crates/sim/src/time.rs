@@ -1,0 +1,131 @@
+//! The simulation clock.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in integer ticks.
+///
+/// Integer arithmetic keeps event ordering exact across platforms (no
+/// floating-point drift). The domain convention is 1 CX-unit = 10 ticks.
+///
+/// # Example
+///
+/// ```
+/// use cloudqc_sim::Tick;
+///
+/// let t = Tick::new(100) + 50;
+/// assert_eq!(t.as_ticks(), 150);
+/// assert_eq!(t - Tick::new(100), 50);
+/// assert!(Tick::ZERO < t);
+/// ```
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tick(u64);
+
+impl Tick {
+    /// Time zero.
+    pub const ZERO: Tick = Tick(0);
+
+    /// The largest representable time.
+    pub const MAX: Tick = Tick(u64::MAX);
+
+    /// Creates a tick count.
+    pub fn new(ticks: u64) -> Self {
+        Tick(ticks)
+    }
+
+    /// The raw tick count.
+    pub fn as_ticks(self) -> u64 {
+        self.0
+    }
+
+    /// The time as CX-units (10 ticks per CX), for display against the
+    /// paper's plots.
+    pub fn as_cx_units(self) -> f64 {
+        self.0 as f64 / 10.0
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, ticks: u64) -> Tick {
+        Tick(self.0.saturating_add(ticks))
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: Tick) -> Tick {
+        Tick(self.0.max(other.0))
+    }
+}
+
+impl Add<u64> for Tick {
+    type Output = Tick;
+
+    fn add(self, rhs: u64) -> Tick {
+        Tick(self.0.checked_add(rhs).expect("tick overflow"))
+    }
+}
+
+impl AddAssign<u64> for Tick {
+    fn add_assign(&mut self, rhs: u64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Tick> for Tick {
+    type Output = u64;
+
+    /// Duration between two times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is later than `self`.
+    fn sub(self, rhs: Tick) -> u64 {
+        self.0.checked_sub(rhs.0).expect("negative duration")
+    }
+}
+
+impl fmt::Display for Tick {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}t", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = Tick::new(5) + 7;
+        assert_eq!(t.as_ticks(), 12);
+        assert_eq!(t - Tick::new(2), 10);
+        let mut u = Tick::ZERO;
+        u += 3;
+        assert_eq!(u, Tick::new(3));
+    }
+
+    #[test]
+    fn ordering_and_max() {
+        assert!(Tick::new(1) < Tick::new(2));
+        assert_eq!(Tick::new(1).max(Tick::new(2)), Tick::new(2));
+    }
+
+    #[test]
+    fn cx_unit_conversion() {
+        assert_eq!(Tick::new(150).as_cx_units(), 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative duration")]
+    fn negative_duration_panics() {
+        let _ = Tick::new(1) - Tick::new(2);
+    }
+
+    #[test]
+    fn saturating() {
+        assert_eq!(Tick::MAX.saturating_add(1), Tick::MAX);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Tick::new(42).to_string(), "42t");
+    }
+}

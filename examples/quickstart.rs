@@ -1,0 +1,56 @@
+//! Quickstart: place one circuit on a quantum cloud, schedule its
+//! remote gates, and report the job completion time.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cloudqc::circuit::generators::catalog;
+use cloudqc::cloud::CloudBuilder;
+use cloudqc::core::placement::{cost, CloudQcPlacement, PlacementAlgorithm};
+use cloudqc::core::schedule::CloudQcScheduler;
+use cloudqc::core::simulate_job;
+
+fn main() {
+    // The paper's default cloud: 20 QPUs, 20 computing + 5 communication
+    // qubits each, random topology G(20, 0.3), EPR success 0.3.
+    let cloud = CloudBuilder::paper_default(42).build();
+    println!(
+        "cloud: {} QPUs, {} computing qubits total, {} links",
+        cloud.qpu_count(),
+        cloud.total_computing_capacity(),
+        cloud.topology().edge_count()
+    );
+
+    // A 67-qubit KNN kernel from the paper's benchmark suite. It cannot
+    // fit any single 20-qubit QPU, so it must be distributed.
+    let circuit = catalog::by_name("knn_n67").expect("catalog circuit");
+    println!(
+        "circuit: {} — {} qubits, {} two-qubit gates, depth {}",
+        circuit.name(),
+        circuit.num_qubits(),
+        circuit.two_qubit_gate_count(),
+        circuit.depth()
+    );
+
+    // Circuit placement (paper Algorithm 1 + 2).
+    let placement = CloudQcPlacement::default()
+        .place(&circuit, &cloud, &cloud.status(), 7)
+        .expect("the cloud has enough capacity");
+    println!(
+        "placement: {} QPUs used, {} remote gates, communication cost {}",
+        placement.used_qpus().len(),
+        cost::remote_op_count(&circuit, &placement),
+        cost::communication_cost(&circuit, &placement, &cloud)
+    );
+
+    // Network scheduling + discrete-event execution (paper Algorithm 3).
+    let result = simulate_job(&circuit, &placement, &cloud, &CloudQcScheduler, 7);
+    println!(
+        "executed: JCT = {} ticks ({:.1} CX-units), {} EPR rounds across {} remote gates",
+        result.completion_time.as_ticks(),
+        result.completion_time.as_cx_units(),
+        result.epr_rounds,
+        result.remote_gates
+    );
+}

@@ -1,0 +1,62 @@
+//! Compare all five placement algorithms of the paper's Table III on
+//! one circuit: remote operations, communication cost, and simulated
+//! job completion time.
+//!
+//! ```text
+//! cargo run --release --example single_circuit_placement [circuit_name]
+//! ```
+
+use cloudqc::circuit::generators::catalog;
+use cloudqc::cloud::CloudBuilder;
+use cloudqc::core::placement::{
+    cost, AnnealingPlacement, CloudQcBfsPlacement, CloudQcPlacement, GeneticPlacement,
+    PlacementAlgorithm, RandomPlacement,
+};
+use cloudqc::core::schedule::CloudQcScheduler;
+use cloudqc::core::simulate_job;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "qugan_n71".to_owned());
+    let Some(circuit) = catalog::by_name(&name) else {
+        eprintln!("unknown circuit `{name}` — try qugan_n71, knn_n67, adder_n64, qft_n63 …");
+        std::process::exit(2);
+    };
+    let cloud = CloudBuilder::paper_default(42).build();
+    println!(
+        "{name}: {} qubits, {} two-qubit gates on a {}-QPU cloud\n",
+        circuit.num_qubits(),
+        circuit.two_qubit_gate_count(),
+        cloud.qpu_count()
+    );
+    println!(
+        "{:<12} {:>11} {:>10} {:>12} {:>12}",
+        "method", "remote ops", "comm cost", "JCT (ticks)", "QPUs used"
+    );
+
+    let algorithms: Vec<Box<dyn PlacementAlgorithm>> = vec![
+        Box::new(AnnealingPlacement {
+            iterations: 5_000,
+            ..AnnealingPlacement::default()
+        }),
+        Box::new(RandomPlacement),
+        Box::new(GeneticPlacement::default()),
+        Box::new(CloudQcBfsPlacement::default()),
+        Box::new(CloudQcPlacement::default()),
+    ];
+    for algo in &algorithms {
+        match algo.place(&circuit, &cloud, &cloud.status(), 7) {
+            Ok(p) => {
+                let jct = simulate_job(&circuit, &p, &cloud, &CloudQcScheduler, 7);
+                println!(
+                    "{:<12} {:>11} {:>10} {:>12} {:>12}",
+                    algo.name(),
+                    cost::remote_op_count(&circuit, &p),
+                    cost::communication_cost(&circuit, &p, &cloud),
+                    jct.completion_time.as_ticks(),
+                    p.used_qpus().len()
+                );
+            }
+            Err(e) => println!("{:<12} failed: {e}", algo.name()),
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # CloudQC
+//!
+//! A network-aware circuit placement and resource scheduling framework
+//! for multi-tenant distributed quantum computing — a from-scratch Rust
+//! reproduction of *"CloudQC: A Network-aware Framework for Multi-tenant
+//! Distributed Quantum Computing"* (ICDCS 2025).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`graph`] — partitioning, community detection, topologies.
+//! * [`circuit`] — circuit IR, workloads, QASM.
+//! * [`cloud`] — the quantum cloud model (QPUs, links, EPR, latency).
+//! * [`sim`] — the discrete-event simulator.
+//! * [`core`] — the CloudQC framework itself: placement algorithms,
+//!   network schedulers, the batch manager, and the multi-tenant
+//!   orchestrator.
+//!
+//! # Quickstart
+//!
+//! Place one circuit on a 20-QPU cloud and schedule its remote gates:
+//!
+//! ```
+//! use cloudqc::circuit::generators::catalog;
+//! use cloudqc::cloud::CloudBuilder;
+//! use cloudqc::core::placement::{CloudQcPlacement, PlacementAlgorithm};
+//! use cloudqc::core::schedule::CloudQcScheduler;
+//! use cloudqc::core::simulate_job;
+//!
+//! let cloud = CloudBuilder::new(20).computing_qubits(20).communication_qubits(5)
+//!     .random_topology(0.3, 42).build();
+//! let circuit = catalog::by_name("qugan_n39").unwrap();
+//! let placement = CloudQcPlacement::default()
+//!     .place(&circuit, &cloud, &cloud.status(), 7)
+//!     .expect("cloud has capacity");
+//! let result = simulate_job(&circuit, &placement, &cloud, &CloudQcScheduler, 7);
+//! assert!(result.completion_time.as_ticks() > 0);
+//! ```
+
+pub use cloudqc_circuit as circuit;
+pub use cloudqc_cloud as cloud;
+pub use cloudqc_core as core;
+pub use cloudqc_graph as graph;
+pub use cloudqc_sim as sim;

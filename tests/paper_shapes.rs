@@ -1,0 +1,139 @@
+//! Scaled-down assertions of the paper's headline experimental claims
+//! (the full-scale versions are the `cloudqc-experiments` binaries).
+
+use cloudqc::circuit::generators::catalog;
+use cloudqc::cloud::CloudBuilder;
+use cloudqc::core::placement::{cost, CloudQcPlacement, PlacementAlgorithm, RandomPlacement};
+use cloudqc::core::schedule::{
+    AverageScheduler, CloudQcScheduler, GreedyScheduler, RandomScheduler, Scheduler,
+};
+use cloudqc::core::simulate_job;
+
+fn mean_jct(
+    circuit: &cloudqc::circuit::Circuit,
+    placement: &cloudqc::core::placement::Placement,
+    cloud: &cloudqc::cloud::Cloud,
+    sched: &dyn Scheduler,
+    reps: u64,
+) -> f64 {
+    (0..reps)
+        .map(|s| {
+            simulate_job(circuit, placement, cloud, sched, s)
+                .completion_time
+                .as_ticks() as f64
+        })
+        .sum::<f64>()
+        / reps as f64
+}
+
+/// Table III's claim, in miniature: CloudQC's placement induces fewer
+/// remote operations than Random on every structured benchmark.
+#[test]
+fn shape_table3_cloudqc_not_worse_than_random() {
+    let cloud = CloudBuilder::paper_default(2).build();
+    for name in ["ghz_n127", "ising_n98", "qugan_n71", "adder_n64", "knn_n67"] {
+        let circuit = catalog::by_name(name).unwrap();
+        let cq = CloudQcPlacement::default()
+            .place(&circuit, &cloud, &cloud.status(), 0)
+            .unwrap();
+        let rnd = RandomPlacement
+            .place(&circuit, &cloud, &cloud.status(), 0)
+            .unwrap();
+        assert!(
+            cost::remote_op_count(&circuit, &cq) <= cost::remote_op_count(&circuit, &rnd),
+            "{name}"
+        );
+    }
+}
+
+/// Fig. 22's claim: on DAG-heavy circuits the Greedy scheduler is the
+/// worst, and CloudQC is no worse than Greedy. (qft_n29 keeps the
+/// debug-mode runtime reasonable.)
+#[test]
+fn shape_fig22_greedy_worst_on_dag_heavy_circuits() {
+    let cloud = CloudBuilder::paper_default(4).build();
+    let circuit = catalog::by_name("qft_n29").unwrap();
+    let placement = CloudQcPlacement::default()
+        .place(&circuit, &cloud, &cloud.status(), 1)
+        .unwrap();
+    let reps = 5;
+    let greedy = mean_jct(&circuit, &placement, &cloud, &GreedyScheduler, reps);
+    let cloudqc = mean_jct(&circuit, &placement, &cloud, &CloudQcScheduler, reps);
+    let average = mean_jct(&circuit, &placement, &cloud, &AverageScheduler, reps);
+    assert!(
+        cloudqc <= greedy * 1.02,
+        "CloudQC {cloudqc} should not lose to Greedy {greedy}"
+    );
+    assert!(
+        cloudqc <= average * 1.10,
+        "CloudQC {cloudqc} should be within 10% of Average {average}"
+    );
+}
+
+/// Figs. 18–21's claim: increasing EPR success probability decreases
+/// job completion time.
+#[test]
+fn shape_fig18_21_jct_decreases_with_epr_probability() {
+    let circuit = catalog::by_name("qugan_n39").unwrap();
+    let reps = 6;
+    let mut means = Vec::new();
+    for p in [0.1, 0.3, 0.5] {
+        let cloud = CloudBuilder::paper_default(6).epr_success_prob(p).build();
+        let placement = CloudQcPlacement::default()
+            .place(&circuit, &cloud, &cloud.status(), 2)
+            .unwrap();
+        means.push(mean_jct(&circuit, &placement, &cloud, &CloudQcScheduler, reps));
+    }
+    assert!(
+        means[0] > means[1] && means[1] > means[2],
+        "JCT not decreasing in p: {means:?}"
+    );
+}
+
+/// Figs. 10–13's claim: more communication qubits reduce completion
+/// time (monotone within noise across the sweep's endpoints).
+#[test]
+fn shape_fig10_13_more_comm_qubits_help() {
+    let circuit = catalog::by_name("qft_n29").unwrap();
+    let reps = 5;
+    let jct_at = |comm: usize| {
+        let cloud = CloudBuilder::new(20)
+            .communication_qubits(comm)
+            .random_topology(0.3, 8)
+            .build();
+        let placement = CloudQcPlacement::default()
+            .place(&circuit, &cloud, &cloud.status(), 3)
+            .unwrap();
+        mean_jct(&circuit, &placement, &cloud, &CloudQcScheduler, reps)
+    };
+    let low = jct_at(2);
+    let high = jct_at(10);
+    assert!(high < low, "10 comm qubits ({high}) not faster than 2 ({low})");
+}
+
+/// §VI.C's premise: all four schedulers are correct (same workload
+/// completes; only time differs).
+#[test]
+fn shape_all_schedulers_are_functionally_equivalent() {
+    let cloud = CloudBuilder::paper_default(10).build();
+    let circuit = catalog::by_name("ising_n66").unwrap();
+    let placement = CloudQcPlacement::default()
+        .place(&circuit, &cloud, &cloud.status(), 4)
+        .unwrap();
+    let schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(GreedyScheduler),
+        Box::new(AverageScheduler),
+        Box::new(RandomScheduler),
+        Box::new(CloudQcScheduler),
+    ];
+    for sched in &schedulers {
+        let r = simulate_job(&circuit, &placement, &cloud, sched.as_ref(), 11);
+        assert_eq!(
+            r.remote_gates,
+            cost::remote_op_count(&circuit, &placement),
+            "{}",
+            sched.name()
+        );
+        assert!(r.epr_rounds >= r.remote_gates as u64, "{}", sched.name());
+    }
+}

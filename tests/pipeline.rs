@@ -1,0 +1,151 @@
+//! End-to-end pipeline integration tests spanning every crate:
+//! catalog → interaction graph → placement → remote DAG → scheduling →
+//! discrete-event execution.
+
+use cloudqc::circuit::generators::catalog;
+use cloudqc::circuit::interaction::interaction_graph;
+use cloudqc::cloud::{CloudBuilder, QpuId};
+use cloudqc::core::placement::{
+    cost, CloudQcBfsPlacement, CloudQcPlacement, PlacementAlgorithm, RandomPlacement,
+};
+use cloudqc::core::schedule::{priority::priorities, CloudQcScheduler, RemoteDag};
+use cloudqc::core::simulate_job;
+
+#[test]
+fn full_pipeline_is_deterministic() {
+    let cloud = CloudBuilder::paper_default(3).build();
+    let circuit = catalog::by_name("qugan_n39").unwrap();
+    let run = |seed: u64| {
+        let p = CloudQcPlacement::default()
+            .place(&circuit, &cloud, &cloud.status(), seed)
+            .unwrap();
+        let r = simulate_job(&circuit, &p, &cloud, &CloudQcScheduler, seed);
+        (p, r)
+    };
+    let (p1, r1) = run(11);
+    let (p2, r2) = run(11);
+    assert_eq!(p1, p2);
+    assert_eq!(r1, r2);
+}
+
+#[test]
+fn cloudqc_beats_random_placement_on_structured_circuits() {
+    // The headline single-circuit claim (Table III): CloudQC induces
+    // far fewer remote operations than random placement on circuits
+    // with exploitable structure.
+    let cloud = CloudBuilder::paper_default(5).build();
+    for name in ["ghz_n127", "cat_n65", "ising_n66", "adder_n64", "qugan_n71"] {
+        let circuit = catalog::by_name(name).unwrap();
+        let cq = CloudQcPlacement::default()
+            .place(&circuit, &cloud, &cloud.status(), 1)
+            .unwrap();
+        let rnd = RandomPlacement
+            .place(&circuit, &cloud, &cloud.status(), 1)
+            .unwrap();
+        let cq_ops = cost::remote_op_count(&circuit, &cq);
+        let rnd_ops = cost::remote_op_count(&circuit, &rnd);
+        assert!(
+            (cq_ops as f64) < 0.5 * rnd_ops as f64,
+            "{name}: CloudQC {cq_ops} vs Random {rnd_ops}"
+        );
+    }
+}
+
+#[test]
+fn placement_never_overfills_qpus() {
+    let cloud = CloudBuilder::paper_default(7).build();
+    for name in ["knn_n67", "qft_n63", "cat_n130", "bv_n140"] {
+        let circuit = catalog::by_name(name).unwrap();
+        for algo in [
+            &CloudQcPlacement::default() as &dyn PlacementAlgorithm,
+            &CloudQcBfsPlacement::default(),
+            &RandomPlacement,
+        ] {
+            let status = cloud.status();
+            let p = algo.place(&circuit, &cloud, &status, 2).unwrap();
+            assert!(p.fits(&status), "{name}/{}", algo.name());
+            let demand = p.qpu_demand(cloud.qpu_count());
+            assert_eq!(demand.iter().sum::<usize>(), circuit.num_qubits());
+        }
+    }
+}
+
+#[test]
+fn remote_dag_is_consistent_with_placement() {
+    let cloud = CloudBuilder::paper_default(9).build();
+    let circuit = catalog::by_name("adder_n64").unwrap();
+    let p = CloudQcPlacement::default()
+        .place(&circuit, &cloud, &cloud.status(), 4)
+        .unwrap();
+    let rd = RemoteDag::new(&circuit, &p, &cloud);
+    // Node count equals the cost metric.
+    assert_eq!(rd.node_count(), cost::remote_op_count(&circuit, &p));
+    // Every node's endpoints really differ and match the placement.
+    for n in 0..rd.node_count() {
+        let (a, b) = rd.endpoints(n);
+        assert_ne!(a, b);
+        let gate = circuit.gates()[rd.gate_index(n)];
+        let (qa, qb) = gate.qubit_pair().expect("remote gates are two-qubit");
+        assert_eq!(p.qpu_of(qa.index()), a);
+        assert_eq!(p.qpu_of(qb.index()), b);
+        assert!(rd.hops(n) >= 1);
+    }
+    // Priorities are bounded by the node count and the DAG is acyclic.
+    let prio = priorities(&rd);
+    assert!(rd.dag().is_acyclic());
+    assert!(prio.iter().all(|&p| p < rd.node_count().max(1)));
+}
+
+#[test]
+fn single_qpu_job_needs_no_network() {
+    let cloud = CloudBuilder::paper_default(2).build();
+    let circuit = catalog::by_name("vqe_n16").unwrap();
+    let p = CloudQcPlacement::default()
+        .place(&circuit, &cloud, &cloud.status(), 3)
+        .unwrap();
+    assert!(p.is_single_qpu());
+    let r = simulate_job(&circuit, &p, &cloud, &CloudQcScheduler, 3);
+    assert_eq!(r.remote_gates, 0);
+    assert_eq!(r.epr_rounds, 0);
+}
+
+#[test]
+fn interaction_graph_edge_weights_bound_remote_ops() {
+    // Remote ops can never exceed the total interaction weight.
+    let cloud = CloudBuilder::paper_default(13).build();
+    let circuit = catalog::by_name("swap_test_n115").unwrap();
+    let ig = interaction_graph(&circuit);
+    let p = RandomPlacement
+        .place(&circuit, &cloud, &cloud.status(), 8)
+        .unwrap();
+    let remote = cost::remote_op_count(&circuit, &p);
+    assert!(remote as f64 <= ig.total_edge_weight());
+}
+
+#[test]
+fn occupied_cloud_shifts_placement() {
+    let cloud = CloudBuilder::paper_default(17).build();
+    let circuit = catalog::by_name("cat_n65").unwrap();
+    let mut status = cloud.status();
+    let p1 = CloudQcPlacement::default()
+        .place(&circuit, &cloud, &status, 5)
+        .unwrap();
+    // Occupy what the first placement used.
+    status
+        .allocate_all_computing(&p1.qpu_demand(cloud.qpu_count()))
+        .unwrap();
+    let p2 = CloudQcPlacement::default()
+        .place(&circuit, &cloud, &status, 5)
+        .unwrap();
+    assert!(p2.fits(&status));
+    // The second placement avoids the exhausted qubits: combined demand
+    // never exceeds capacity.
+    let d1 = p1.qpu_demand(cloud.qpu_count());
+    let d2 = p2.qpu_demand(cloud.qpu_count());
+    for i in 0..cloud.qpu_count() {
+        assert!(
+            d1[i] + d2[i] <= cloud.qpu(QpuId::new(i)).computing_qubits(),
+            "QPU{i} over-committed"
+        );
+    }
+}

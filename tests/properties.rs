@@ -1,0 +1,148 @@
+//! Cross-crate property-based tests: random circuits and clouds through
+//! the full placement + scheduling + execution pipeline.
+
+use cloudqc::circuit::Circuit;
+use cloudqc::cloud::{Cloud, CloudBuilder};
+use cloudqc::core::placement::{
+    cost, CloudQcBfsPlacement, CloudQcPlacement, PlacementAlgorithm, RandomPlacement,
+};
+use cloudqc::core::schedule::{
+    AverageScheduler, CloudQcScheduler, GreedyScheduler, RandomScheduler, RemoteDag, Scheduler,
+};
+use cloudqc::core::simulate_job;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A random circuit with chain/star/random two-qubit structure.
+fn random_circuit(qubits: usize, gates: usize, shape: u8, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(qubits).with_name("random");
+    for q in 0..qubits {
+        c.h(q);
+    }
+    for g in 0..gates {
+        let (a, b) = match shape % 3 {
+            0 => (g % (qubits - 1), g % (qubits - 1) + 1), // chain
+            1 => (0, 1 + g % (qubits - 1)),                // star
+            _ => {
+                let a = rng.random_range(0..qubits);
+                let mut b = rng.random_range(0..qubits);
+                while b == a {
+                    b = rng.random_range(0..qubits);
+                }
+                (a, b)
+            }
+        };
+        c.cx(a, b);
+    }
+    c.measure_all();
+    c
+}
+
+fn small_cloud(seed: u64) -> Cloud {
+    CloudBuilder::new(6)
+        .computing_qubits(8)
+        .communication_qubits(3)
+        .random_topology(0.4, seed)
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every placement algorithm returns a capacity-feasible, total
+    /// placement for any circuit that fits the cloud.
+    #[test]
+    fn placements_are_total_and_feasible(
+        qubits in 4usize..30,
+        gates in 1usize..60,
+        shape in 0u8..3,
+        seed in any::<u64>(),
+    ) {
+        let circuit = random_circuit(qubits, gates, shape, seed);
+        let cloud = small_cloud(seed);
+        let algos: Vec<Box<dyn PlacementAlgorithm>> = vec![
+            Box::new(CloudQcPlacement::default()),
+            Box::new(CloudQcBfsPlacement::default()),
+            Box::new(RandomPlacement),
+        ];
+        for algo in &algos {
+            let status = cloud.status();
+            let p = algo.place(&circuit, &cloud, &status, seed).unwrap();
+            prop_assert_eq!(p.num_qubits(), qubits);
+            prop_assert!(p.fits(&status), "{} violated capacity", algo.name());
+        }
+    }
+
+    /// The remote DAG matches the cost metric and is acyclic under any
+    /// placement.
+    #[test]
+    fn remote_dag_invariants(
+        qubits in 4usize..24,
+        gates in 1usize..50,
+        shape in 0u8..3,
+        seed in any::<u64>(),
+    ) {
+        let circuit = random_circuit(qubits, gates, shape, seed);
+        let cloud = small_cloud(seed);
+        let p = RandomPlacement.place(&circuit, &cloud, &cloud.status(), seed).unwrap();
+        let rd = RemoteDag::new(&circuit, &p, &cloud);
+        prop_assert_eq!(rd.node_count(), cost::remote_op_count(&circuit, &p));
+        prop_assert!(rd.dag().is_acyclic());
+        // Remote DAG dependencies never invert circuit order.
+        for n in 0..rd.node_count() {
+            for &succ in rd.dag().successors(n) {
+                prop_assert!(rd.gate_index(succ) > rd.gate_index(n));
+            }
+        }
+    }
+
+    /// Execution terminates with a sane completion time under every
+    /// scheduler, and is deterministic per seed.
+    #[test]
+    fn execution_terminates_and_is_deterministic(
+        qubits in 4usize..20,
+        gates in 1usize..40,
+        shape in 0u8..3,
+        seed in any::<u64>(),
+    ) {
+        let circuit = random_circuit(qubits, gates, shape, seed);
+        let cloud = small_cloud(seed);
+        let p = CloudQcPlacement::default()
+            .place(&circuit, &cloud, &cloud.status(), seed)
+            .unwrap();
+        let scheds: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(GreedyScheduler),
+            Box::new(AverageScheduler),
+            Box::new(RandomScheduler),
+            Box::new(CloudQcScheduler),
+        ];
+        for sched in &scheds {
+            let a = simulate_job(&circuit, &p, &cloud, sched.as_ref(), seed);
+            let b = simulate_job(&circuit, &p, &cloud, sched.as_ref(), seed);
+            prop_assert_eq!(&a, &b, "{} nondeterministic", sched.name());
+            // JCT is at least the local critical path of any gate chain
+            // and finite.
+            prop_assert!(a.finished_at >= a.started_at);
+            prop_assert!(a.epr_rounds >= a.remote_gates as u64);
+        }
+    }
+
+    /// Communication cost dominates the remote-op count (every remote
+    /// gate travels at least one hop).
+    #[test]
+    fn comm_cost_at_least_remote_ops(
+        qubits in 4usize..24,
+        gates in 1usize..50,
+        shape in 0u8..3,
+        seed in any::<u64>(),
+    ) {
+        let circuit = random_circuit(qubits, gates, shape, seed);
+        let cloud = small_cloud(seed);
+        let p = RandomPlacement.place(&circuit, &cloud, &cloud.status(), seed).unwrap();
+        let ops = cost::remote_op_count(&circuit, &p) as f64;
+        let cost = cost::communication_cost(&circuit, &p, &cloud);
+        prop_assert!(cost >= ops);
+    }
+}

@@ -1,0 +1,62 @@
+//! QASM round-trip integration: every generated workload survives
+//! write → parse with its characteristics intact, and parsed circuits
+//! flow through the placement pipeline.
+
+use cloudqc::circuit::generators::catalog;
+use cloudqc::circuit::qasm;
+use cloudqc::circuit::stats::CircuitStats;
+use cloudqc::cloud::CloudBuilder;
+use cloudqc::core::placement::{CloudQcPlacement, PlacementAlgorithm};
+
+#[test]
+fn catalog_circuits_roundtrip_through_qasm() {
+    // The smaller half of the catalog keeps debug-mode runtime sane.
+    for name in [
+        "ghz_n127",
+        "bv_n70",
+        "ising_n34",
+        "cat_n65",
+        "knn_n67",
+        "qugan_n39",
+        "cc_n64",
+        "adder_n64",
+        "qft_n29",
+        "vqe_uccsd_n28",
+    ] {
+        let original = catalog::by_name(name).unwrap();
+        let text = qasm::write(&original);
+        let parsed = qasm::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let a = CircuitStats::of(&original);
+        let b = CircuitStats::of(&parsed);
+        assert_eq!(a.qubits, b.qubits, "{name}");
+        assert_eq!(a.two_qubit_gates, b.two_qubit_gates, "{name}");
+        assert_eq!(a.depth, b.depth, "{name}");
+        assert_eq!(a.total_gates, b.total_gates, "{name}");
+    }
+}
+
+#[test]
+fn parsed_qasm_flows_through_placement() {
+    let original = catalog::by_name("qugan_n39").unwrap();
+    let parsed = qasm::parse(&qasm::write(&original)).unwrap();
+    let cloud = CloudBuilder::paper_default(3).build();
+    let p = CloudQcPlacement::default()
+        .place(&parsed, &cloud, &cloud.status(), 1)
+        .unwrap();
+    assert_eq!(p.num_qubits(), 39);
+    assert!(p.fits(&cloud.status()));
+}
+
+#[test]
+fn angle_fidelity_through_roundtrip() {
+    let original = catalog::by_name("qft_n29").unwrap();
+    let parsed = qasm::parse(&qasm::write(&original)).unwrap();
+    // Compare every rotation angle bit-for-bit (the writer prints full
+    // precision).
+    for (a, b) in original.gates().iter().zip(parsed.gates()) {
+        if let (
+                cloudqc::circuit::GateKind::Rz(x),
+                cloudqc::circuit::GateKind::Rz(y),
+            ) = (a.kind(), b.kind()) { assert!((x - y).abs() < 1e-15) }
+    }
+}
