@@ -99,7 +99,8 @@ impl Circuit {
     /// Panics if an operand is out of range; use [`Circuit::try_push`]
     /// for a fallible variant.
     pub fn push(&mut self, gate: Gate) {
-        self.try_push(gate).expect("gate operands within circuit width");
+        self.try_push(gate)
+            .expect("gate operands within circuit width");
     }
 
     /// Appends a Hadamard. See [`Circuit::push`] for panics.
@@ -216,7 +217,10 @@ impl Circuit {
     ///
     /// Panics if an operand is out of range or operands are not distinct.
     pub fn ccx_decomposed(&mut self, c0: usize, c1: usize, t: usize) -> &mut Self {
-        assert!(c0 != c1 && c0 != t && c1 != t, "ccx operands must be distinct");
+        assert!(
+            c0 != c1 && c0 != t && c1 != t,
+            "ccx operands must be distinct"
+        );
         self.h(t);
         self.cx(c1, t);
         self.tdg(t);
@@ -242,7 +246,10 @@ impl Circuit {
     ///
     /// Panics if an operand is out of range or operands are not distinct.
     pub fn cswap_decomposed(&mut self, c: usize, a: usize, b: usize) -> &mut Self {
-        assert!(c != a && c != b && a != b, "cswap operands must be distinct");
+        assert!(
+            c != a && c != b && a != b,
+            "cswap operands must be distinct"
+        );
         self.cx(b, a);
         self.ccx_decomposed(c, a, b);
         self.cx(b, a);

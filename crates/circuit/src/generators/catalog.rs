@@ -212,7 +212,13 @@ mod tests {
     #[test]
     fn documented_deltas_are_close() {
         // Non-canonical transpilations: within 10% of the paper's count.
-        for name in ["bv_n140", "adder_n64", "adder_n118", "multiplier_n45", "multiplier_n75"] {
+        for name in [
+            "bv_n140",
+            "adder_n64",
+            "adder_n118",
+            "multiplier_n45",
+            "multiplier_n75",
+        ] {
             let c = by_name(name).unwrap();
             let (_, gates, _) = table2_reference(name).unwrap();
             let measured = c.two_qubit_gate_count() as f64;

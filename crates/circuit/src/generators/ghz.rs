@@ -58,7 +58,10 @@ mod tests {
         let s65 = CircuitStats::of(&cat(65));
         assert_eq!((s65.qubits, s65.two_qubit_gates, s65.depth), (65, 64, 66));
         let s130 = CircuitStats::of(&cat(130));
-        assert_eq!((s130.qubits, s130.two_qubit_gates, s130.depth), (130, 129, 131));
+        assert_eq!(
+            (s130.qubits, s130.two_qubit_gates, s130.depth),
+            (130, 129, 131)
+        );
     }
 
     #[test]

@@ -75,11 +75,7 @@ mod tests {
         for b in [2, 15, 25] {
             let c = multiplier(b);
             assert_eq!(c.num_qubits(), 3 * b);
-            assert_eq!(
-                c.two_qubit_gate_count(),
-                b * b * (6 + RIPPLE),
-                "b = {b}"
-            );
+            assert_eq!(c.two_qubit_gate_count(), b * b * (6 + RIPPLE), "b = {b}");
         }
     }
 

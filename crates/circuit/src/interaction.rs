@@ -45,11 +45,7 @@ pub fn interaction_graph(circuit: &Circuit) -> Graph {
 ///
 /// Panics if `assignment.len() != circuit.num_qubits()` or a part index
 /// is `>= parts`.
-pub fn partition_interaction_graph(
-    circuit: &Circuit,
-    assignment: &[usize],
-    parts: usize,
-) -> Graph {
+pub fn partition_interaction_graph(circuit: &Circuit, assignment: &[usize], parts: usize) -> Graph {
     assert_eq!(
         assignment.len(),
         circuit.num_qubits(),

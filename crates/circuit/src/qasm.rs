@@ -130,7 +130,10 @@ pub fn parse(source: &str) -> Result<Circuit, ParseError> {
         if let Some(rest) = stmt.strip_prefix("include") {
             let inc = rest.trim().trim_matches('"');
             if inc != "qelib1.inc" {
-                return Err(ParseError::new(line, format!("unsupported include `{inc}`")));
+                return Err(ParseError::new(
+                    line,
+                    format!("unsupported include `{inc}`"),
+                ));
             }
             continue;
         }
@@ -187,7 +190,9 @@ pub fn parse(source: &str) -> Result<Circuit, ParseError> {
 
     let mut circuit = Circuit::new(total_qubits).with_name(name);
     for gate in gates {
-        circuit.try_push(gate).map_err(|e| ParseError::new(0, e.to_string()))?;
+        circuit
+            .try_push(gate)
+            .map_err(|e| ParseError::new(0, e.to_string()))?;
     }
     Ok(circuit)
 }
@@ -210,7 +215,10 @@ fn split_gate_head(stmt: &str, line: usize) -> Result<(String, String), ParseErr
             _ => {}
         }
     }
-    Err(ParseError::new(line, format!("malformed statement `{stmt}`")))
+    Err(ParseError::new(
+        line,
+        format!("malformed statement `{stmt}`"),
+    ))
 }
 
 /// Parses `q[16]` from a register declaration.
@@ -329,14 +337,20 @@ fn emit_gate(
             ));
         }
         if operands[0][0] == operands[1][0] {
-            return Err(ParseError::new(line, format!("`{name}` operands must differ")));
+            return Err(ParseError::new(
+                line,
+                format!("`{name}` operands must differ"),
+            ));
         }
         gates.push(Gate::two(kind, operands[0][0], operands[1][0]));
         return Ok(());
     }
     if name == "ccx" {
         if operands.len() != 3 || operands.iter().any(|o| o.len() != 1) {
-            return Err(ParseError::new(line, "`ccx` takes three single-qubit operands"));
+            return Err(ParseError::new(
+                line,
+                "`ccx` takes three single-qubit operands",
+            ));
         }
         let (c0, c1, t) = (operands[0][0], operands[1][0], operands[2][0]);
         if c0 == c1 || c0 == t || c1 == t {
@@ -358,7 +372,10 @@ fn eval_expr(text: &str, line: usize) -> Result<f64, ParseError> {
     let mut pos = 0;
     let value = parse_sum(&tokens, &mut pos, line)?;
     if pos != tokens.len() {
-        return Err(ParseError::new(line, format!("trailing tokens in `{text}`")));
+        return Err(ParseError::new(
+            line,
+            format!("trailing tokens in `{text}`"),
+        ));
     }
     Ok(value)
 }
@@ -433,7 +450,12 @@ fn tokenize(text: &str, line: usize) -> Result<Vec<Token>, ParseError> {
                     .map_err(|_| ParseError::new(line, format!("bad number `{lit}`")))?;
                 tokens.push(Token::Num(num));
             }
-            _ => return Err(ParseError::new(line, format!("bad character `{c}` in `{text}`"))),
+            _ => {
+                return Err(ParseError::new(
+                    line,
+                    format!("bad character `{c}` in `{text}`"),
+                ))
+            }
         }
     }
     Ok(tokens)
@@ -502,7 +524,10 @@ fn parse_atom(tokens: &[Token], pos: &mut usize, line: usize) -> Result<f64, Par
             *pos += 1;
             Ok(value)
         }
-        _ => Err(ParseError::new(line, "expected a value in angle expression")),
+        _ => Err(ParseError::new(
+            line,
+            "expected a value in angle expression",
+        )),
     }
 }
 

@@ -226,7 +226,11 @@ impl CloudBuilder {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x11ab);
                 let mut weighted = Graph::new(n);
                 for (u, v, _) in topology.edges() {
-                    let q = if lo == hi { lo } else { rng.random_range(lo..=hi) };
+                    let q = if lo == hi {
+                        lo
+                    } else {
+                        rng.random_range(lo..=hi)
+                    };
                     weighted.add_edge(u, v, q);
                 }
                 Cloud::from_parts_with_reliability(qpus, weighted, self.latency, self.epr)
@@ -275,11 +279,7 @@ mod tests {
     fn heterogeneous_qpus_override_defaults() {
         let c = CloudBuilder::new(3)
             .line_topology()
-            .heterogeneous_qpus(vec![
-                Qpu::new(10, 2),
-                Qpu::new(30, 8),
-                Qpu::new(20, 5),
-            ])
+            .heterogeneous_qpus(vec![Qpu::new(10, 2), Qpu::new(30, 8), Qpu::new(20, 5)])
             .build();
         assert_eq!(c.total_computing_capacity(), 60);
         assert_eq!(c.qpu(crate::QpuId::new(1)).communication_qubits(), 8);

@@ -133,7 +133,10 @@ impl Cloud {
 
     /// Iterates over `(id, qpu)` pairs.
     pub fn qpus(&self) -> impl Iterator<Item = (QpuId, &Qpu)> {
-        self.qpus.iter().enumerate().map(|(i, q)| (QpuId::new(i), q))
+        self.qpus
+            .iter()
+            .enumerate()
+            .map(|(i, q)| (QpuId::new(i), q))
     }
 
     /// The quantum-link topology (one node per QPU).

@@ -22,7 +22,10 @@ impl EprModel {
     ///
     /// Panics if `p` is not within `(0, 1]`.
     pub fn new(p: f64) -> Self {
-        assert!(p > 0.0 && p <= 1.0, "EPR success probability must be in (0, 1]");
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "EPR success probability must be in (0, 1]"
+        );
         EprModel { success_prob: p }
     }
 
@@ -66,12 +69,7 @@ impl EprModel {
     /// # Panics
     ///
     /// Panics if `quality` is outside `(0, 1]`.
-    pub fn sample_round_with_quality(
-        &self,
-        pairs: usize,
-        quality: f64,
-        rng: &mut StdRng,
-    ) -> bool {
+    pub fn sample_round_with_quality(&self, pairs: usize, quality: f64, rng: &mut StdRng) -> bool {
         let p = self.round_success_prob_with_quality(pairs, quality);
         p > 0.0 && rng.random_bool(p)
     }
@@ -144,7 +142,9 @@ mod tests {
         let m = EprModel::new(0.3);
         let mut rng = StdRng::seed_from_u64(7);
         let trials = 20_000;
-        let total: u64 = (0..trials).map(|_| m.sample_rounds(2, 1_000, &mut rng)).sum();
+        let total: u64 = (0..trials)
+            .map(|_| m.sample_rounds(2, 1_000, &mut rng))
+            .sum();
         let mean = total as f64 / trials as f64;
         let expected = m.expected_rounds(2);
         assert!(
@@ -180,7 +180,10 @@ mod tests {
     fn quality_degrades_success() {
         let m = EprModel::new(0.3);
         assert!(m.round_success_prob_with_quality(2, 0.5) < m.round_success_prob(2));
-        assert_eq!(m.round_success_prob_with_quality(2, 1.0), m.round_success_prob(2));
+        assert_eq!(
+            m.round_success_prob_with_quality(2, 1.0),
+            m.round_success_prob(2)
+        );
         // Quality 0.5 behaves like halved per-attempt probability.
         let halved = EprModel::new(0.15);
         assert!(

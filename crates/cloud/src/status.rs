@@ -259,7 +259,11 @@ mod tests {
         let err = s.allocate_computing(QpuId::new(0), 11).unwrap_err();
         assert!(matches!(
             err,
-            ResourceError::Insufficient { requested: 11, available: 10, .. }
+            ResourceError::Insufficient {
+                requested: 11,
+                available: 10,
+                ..
+            }
         ));
         assert_eq!(s.free_computing(QpuId::new(0)), 10);
         assert!(err.to_string().contains("11 requested"));

@@ -33,7 +33,10 @@ impl fmt::Display for PlacementError {
                 "circuit needs {required} qubits but only {available} are free"
             ),
             PlacementError::NoFeasiblePlacement => {
-                write!(f, "no feasible placement found under the configured constraints")
+                write!(
+                    f,
+                    "no feasible placement found under the configured constraints"
+                )
             }
             PlacementError::Resource(e) => write!(f, "resource allocation failed: {e}"),
         }
@@ -67,7 +70,9 @@ mod tests {
             available: 40,
         };
         assert!(e.to_string().contains("100"));
-        assert!(PlacementError::NoFeasiblePlacement.to_string().contains("feasible"));
+        assert!(PlacementError::NoFeasiblePlacement
+            .to_string()
+            .contains("feasible"));
     }
 
     #[test]

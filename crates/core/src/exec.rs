@@ -25,8 +25,8 @@ use cloudqc_cloud::{Cloud, QpuId};
 use cloudqc_sim::{EventQueue, SimRng, Tick};
 use rand::rngs::StdRng;
 
-use crate::schedule::RemoteDag;
 use crate::schedule::priority::priorities;
+use crate::schedule::RemoteDag;
 
 /// Outcome of one job's execution.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -221,7 +221,8 @@ impl<'a> Executor<'a> {
             Some(node) => self.jobs[job].pending.push(node),
             None => {
                 let lat = self.jobs[job].gate_latency[gate];
-                self.queue.push(self.now + lat, Event::GateDone { job, gate });
+                self.queue
+                    .push(self.now + lat, Event::GateDone { job, gate });
             }
         }
     }
@@ -234,8 +235,7 @@ impl<'a> Executor<'a> {
                 // Path reservation: a gate whose swapping stations are
                 // saturated cannot start a round; defer it.
                 if self.path_reservation {
-                    let stations =
-                        crate::schedule::routing::intermediates(&job.paths[node]);
+                    let stations = crate::schedule::routing::intermediates(&job.paths[node]);
                     if stations.iter().any(|q| self.comm_free[q.index()] == 0) {
                         continue;
                     }
@@ -323,9 +323,7 @@ impl<'a> Executor<'a> {
                 self.comm_free[a.index()] += pairs;
                 self.comm_free[b.index()] += pairs;
                 if self.path_reservation {
-                    for q in
-                        crate::schedule::routing::intermediates(&self.jobs[job].paths[node])
-                    {
+                    for q in crate::schedule::routing::intermediates(&self.jobs[job].paths[node]) {
                         self.comm_free[q.index()] += 1;
                     }
                 }
@@ -530,10 +528,7 @@ mod tests {
         // At least one round (100) + completion (10 + 50 + 1).
         assert!(r.completion_time >= Tick::new(161));
         // Round count matches the elapsed time structure.
-        assert_eq!(
-            r.completion_time.as_ticks(),
-            r.epr_rounds * 100 + 61
-        );
+        assert_eq!(r.completion_time.as_ticks(), r.epr_rounds * 100 + 61);
     }
 
     #[test]
@@ -675,9 +670,15 @@ mod tests {
             QpuId::new(2),
         ]);
         for (name, result) in [
-            ("cloudqc", simulate_job(&c, &p, &cloud, &CloudQcScheduler, 4)),
+            (
+                "cloudqc",
+                simulate_job(&c, &p, &cloud, &CloudQcScheduler, 4),
+            ),
             ("greedy", simulate_job(&c, &p, &cloud, &GreedyScheduler, 4)),
-            ("average", simulate_job(&c, &p, &cloud, &AverageScheduler, 4)),
+            (
+                "average",
+                simulate_job(&c, &p, &cloud, &AverageScheduler, 4),
+            ),
         ] {
             // cx(1,2) and cx(3,4) cross QPU boundaries; the rest are local.
             assert_eq!(result.remote_gates, 2, "{name}");

@@ -184,12 +184,7 @@ fn capacity_fill(
 
     // QPU order: free capacity descending.
     let mut qpus: Vec<usize> = (0..cloud.qpu_count()).collect();
-    qpus.sort_by_key(|&i| {
-        (
-            std::cmp::Reverse(status.free_computing(QpuId::new(i))),
-            i,
-        )
-    });
+    qpus.sort_by_key(|&i| (std::cmp::Reverse(status.free_computing(QpuId::new(i))), i));
 
     let mut assignment = vec![QpuId::new(0); size];
     let mut qpu_iter = qpus.into_iter();
@@ -292,7 +287,9 @@ mod tests {
         // infeasible; qft_n63 (63 qubits) cannot fit one QPU, so
         // placement must fail.
         let algo = CloudQcPlacement::new(PlacementConfig::default().with_epsilon(1));
-        let err = algo.place(&circuit, &cloud, &cloud.status(), 5).unwrap_err();
+        let err = algo
+            .place(&circuit, &cloud, &cloud.status(), 5)
+            .unwrap_err();
         assert_eq!(err, PlacementError::NoFeasiblePlacement);
     }
 

@@ -100,7 +100,10 @@ mod tests {
         let remote = Placement::new(vec![QpuId::new(0), QpuId::new(1)]);
         let t_local = estimate_execution_time(&c, &local, &cloud);
         let t_remote = estimate_execution_time(&c, &remote, &cloud);
-        assert!(t_remote > 10.0 * t_local, "local {t_local}, remote {t_remote}");
+        assert!(
+            t_remote > 10.0 * t_local,
+            "local {t_local}, remote {t_remote}"
+        );
     }
 
     #[test]
@@ -110,8 +113,7 @@ mod tests {
         let near = Placement::new(vec![QpuId::new(0), QpuId::new(1)]);
         let far = Placement::new(vec![QpuId::new(0), QpuId::new(2)]);
         assert!(
-            estimate_execution_time(&c, &far, &cloud)
-                > estimate_execution_time(&c, &near, &cloud)
+            estimate_execution_time(&c, &far, &cloud) > estimate_execution_time(&c, &near, &cloud)
         );
     }
 

@@ -124,7 +124,12 @@ pub fn find_placement(
         taken[target.index()] = true;
     }
 
-    Some(mapping.into_iter().map(|m| m.expect("all parts mapped")).collect())
+    Some(
+        mapping
+            .into_iter()
+            .map(|m| m.expect("all parts mapped"))
+            .collect(),
+    )
 }
 
 /// Expands a partition-level mapping to a per-qubit [`Placement`].
@@ -243,11 +248,7 @@ fn community_candidates(
         // per the paper's remark that reliability "can be easily encoded
         // into the edge weights".
         let quality = cloud.bottleneck_reliability(QpuId::new(u), QpuId::new(v));
-        weighted.add_edge(
-            u,
-            v,
-            quality * (1.0 + (fu + fv) / (2.0 * max_cap as f64)),
-        );
+        weighted.add_edge(u, v, quality * (1.0 + (fu + fv) / (2.0 * max_cap as f64)));
     }
     let communities = louvain(&weighted, seed);
     let free = |u: usize| status.free_computing(QpuId::new(u));
@@ -385,7 +386,11 @@ mod tests {
         let d1 = cloud.distance_or_max(hub, mapping[1]);
         let d2 = cloud.distance_or_max(hub, mapping[2]);
         // Hub is adjacent to both satellites.
-        assert!(d1 <= 2 && d2 <= 2, "hub {hub} satellites {:?}", &mapping[1..]);
+        assert!(
+            d1 <= 2 && d2 <= 2,
+            "hub {hub} satellites {:?}",
+            &mapping[1..]
+        );
     }
 
     #[test]

@@ -186,8 +186,12 @@ mod tests {
     fn deterministic_for_seed() {
         let cloud = CloudBuilder::paper_default(13).build();
         let circuit = catalog::by_name("bv_n70").unwrap();
-        let a = quick_ga().place(&circuit, &cloud, &cloud.status(), 8).unwrap();
-        let b = quick_ga().place(&circuit, &cloud, &cloud.status(), 8).unwrap();
+        let a = quick_ga()
+            .place(&circuit, &cloud, &cloud.status(), 8)
+            .unwrap();
+        let b = quick_ga()
+            .place(&circuit, &cloud, &cloud.status(), 8)
+            .unwrap();
         assert_eq!(a, b);
     }
 }

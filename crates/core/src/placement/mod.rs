@@ -204,7 +204,10 @@ mod tests {
         let err = check_total_capacity(&c, &status).unwrap_err();
         assert!(matches!(
             err,
-            PlacementError::InsufficientCapacity { required: 25, available: 20 }
+            PlacementError::InsufficientCapacity {
+                required: 25,
+                available: 20
+            }
         ));
     }
 }

@@ -93,8 +93,9 @@ mod tests {
     #[test]
     fn starvation_freedom_under_contention() {
         // Five gates all need QPU0 (capacity 5): each gets exactly 1 ...
-        let requests: Vec<RemoteRequest> =
-            (0..5).map(|i| req(i, 0, 1 + i as usize, 10 - i as usize)).collect();
+        let requests: Vec<RemoteRequest> = (0..5)
+            .map(|i| req(i, 0, 1 + i as usize, 10 - i as usize))
+            .collect();
         let available = vec![5, 9, 9, 9, 9, 9];
         let allocs = CloudQcScheduler.allocate(&requests, &available, &mut rng());
         validate_allocations(&requests, &available, &allocs).unwrap();

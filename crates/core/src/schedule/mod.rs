@@ -167,12 +167,9 @@ mod tests {
     #[test]
     fn validation_catches_bad_keys() {
         let requests = [req(1, 0, 1, 0)];
-        assert!(validate_allocations(
-            &requests,
-            &[5, 5],
-            &[Allocation { key: 9, pairs: 1 }]
-        )
-        .is_err());
+        assert!(
+            validate_allocations(&requests, &[5, 5], &[Allocation { key: 9, pairs: 1 }]).is_err()
+        );
         assert!(validate_allocations(
             &requests,
             &[5, 5],
@@ -182,12 +179,9 @@ mod tests {
             ]
         )
         .is_err());
-        assert!(validate_allocations(
-            &requests,
-            &[5, 5],
-            &[Allocation { key: 1, pairs: 0 }]
-        )
-        .is_err());
+        assert!(
+            validate_allocations(&requests, &[5, 5], &[Allocation { key: 1, pairs: 0 }]).is_err()
+        );
     }
 
     #[test]

@@ -100,12 +100,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut allocs = RandomScheduler.allocate(&requests, &available, &mut rng);
             allocs.sort_by_key(|a| a.key);
-            seen.insert(
-                allocs
-                    .iter()
-                    .map(|a| (a.key, a.pairs))
-                    .collect::<Vec<_>>(),
-            );
+            seen.insert(allocs.iter().map(|a| (a.key, a.pairs)).collect::<Vec<_>>());
         }
         assert!(seen.len() > 1, "random scheduler never varied");
     }

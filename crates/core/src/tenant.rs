@@ -273,10 +273,10 @@ pub fn run_incoming(
     let mut next_arrival = 0usize;
 
     let record = |exec: &Executor,
-                      admitted: &[(usize, Vec<usize>)],
-                      status: &mut cloudqc_cloud::CloudStatus,
-                      outcomes: &mut Vec<Option<TenantOutcome>>,
-                      finished: Vec<usize>| {
+                  admitted: &[(usize, Vec<usize>)],
+                  status: &mut cloudqc_cloud::CloudStatus,
+                  outcomes: &mut Vec<Option<TenantOutcome>>,
+                  finished: Vec<usize>| {
         for exec_id in finished {
             let (job_idx, demand) = &admitted[exec_id];
             status.release_all_computing(demand);
@@ -299,7 +299,12 @@ pub fn run_incoming(
         let mut i = 0;
         while i < waiting.len() {
             let job_idx = waiting[i];
-            match placement.place(&jobs[job_idx].0, cloud, &status, seed ^ (job_idx as u64) << 17) {
+            match placement.place(
+                &jobs[job_idx].0,
+                cloud,
+                &status,
+                seed ^ (job_idx as u64) << 17,
+            ) {
                 Ok(p) => {
                     let demand = p.qpu_demand(cloud.qpu_count());
                     status
@@ -447,7 +452,11 @@ mod tests {
         )
         .unwrap();
         let (a, b) = (&run.outcomes[0], &run.outcomes[1]);
-        let (first, second) = if a.admitted_at <= b.admitted_at { (a, b) } else { (b, a) };
+        let (first, second) = if a.admitted_at <= b.admitted_at {
+            (a, b)
+        } else {
+            (b, a)
+        };
         assert_eq!(first.admitted_at, Tick::ZERO);
         assert!(second.admitted_at >= first.finished_at);
     }
@@ -526,7 +535,10 @@ mod tests {
         assert_eq!(run.outcomes.len(), 3);
         for (i, o) in run.outcomes.iter().enumerate() {
             assert_eq!(o.arrived_at, jobs[i].1);
-            assert!(o.admitted_at >= o.arrived_at, "job {i} admitted before arrival");
+            assert!(
+                o.admitted_at >= o.arrived_at,
+                "job {i} admitted before arrival"
+            );
             assert_eq!(
                 o.completion_time.as_ticks(),
                 o.finished_at - o.arrived_at,
@@ -543,7 +555,9 @@ mod tests {
             .line_topology()
             .build();
         let circuit = catalog::by_name("ghz_n25").unwrap();
-        let jobs: Vec<_> = (0..3).map(|i| (circuit.clone(), Tick::new(i * 10))).collect();
+        let jobs: Vec<_> = (0..3)
+            .map(|i| (circuit.clone(), Tick::new(i * 10)))
+            .collect();
         let run = run_incoming(
             &jobs,
             &cloud,

@@ -75,9 +75,12 @@ fn batch_weights_ablation(args: &ExpArgs) {
         let mut jct_sum = 0.0;
         let mut makespan_sum = 0.0;
         for rep in 0..args.reps {
-            let cloud =
-                CloudBuilder::paper_default(SimRng::new(args.seed).fork_indexed("topo", rep as u64).seed())
-                    .build();
+            let cloud = CloudBuilder::paper_default(
+                SimRng::new(args.seed)
+                    .fork_indexed("topo", rep as u64)
+                    .seed(),
+            )
+            .build();
             let run = run_multi_tenant(
                 &batch,
                 &cloud,
@@ -114,20 +117,28 @@ fn score_weights_ablation(args: &ExpArgs) {
         let mut cost_sum = 0.0;
         let mut jct = 0.0;
         for rep in 0..args.reps {
-            let cloud =
-                CloudBuilder::paper_default(SimRng::new(args.seed).fork_indexed("topo2", rep as u64).seed())
-                    .build();
-            let algo = CloudQcPlacement::new(
-                PlacementConfig::default().with_score_weights(alpha, beta),
-            );
+            let cloud = CloudBuilder::paper_default(
+                SimRng::new(args.seed)
+                    .fork_indexed("topo2", rep as u64)
+                    .seed(),
+            )
+            .build();
+            let algo =
+                CloudQcPlacement::new(PlacementConfig::default().with_score_weights(alpha, beta));
             let p = algo
                 .place(&circuit, &cloud, &cloud.status(), args.seed + rep as u64)
                 .expect("placement succeeds");
             ops += cost::remote_op_count(&circuit, &p) as f64;
             cost_sum += cost::communication_cost(&circuit, &p, &cloud);
-            jct += simulate_job(&circuit, &p, &cloud, &CloudQcScheduler, args.seed + rep as u64)
-                .completion_time
-                .as_ticks() as f64;
+            jct += simulate_job(
+                &circuit,
+                &p,
+                &cloud,
+                &CloudQcScheduler,
+                args.seed + rep as u64,
+            )
+            .completion_time
+            .as_ticks() as f64;
         }
         let r = args.reps as f64;
         t.row(vec![
@@ -150,22 +161,26 @@ fn imbalance_sweep_ablation(args: &ExpArgs) {
         ("single 0.1", vec![0.1]),
         ("single 0.5", vec![0.5]),
         ("sweep {0.1,0.3,0.5}", vec![0.1, 0.3, 0.5]),
-        ("wide sweep {0.05..1.0}", vec![0.05, 0.1, 0.2, 0.3, 0.5, 1.0]),
+        (
+            "wide sweep {0.05..1.0}",
+            vec![0.05, 0.1, 0.2, 0.3, 0.5, 1.0],
+        ),
     ];
     let mut headers = vec!["config".to_string()];
     headers.extend(circuits.iter().map(|c| c.to_string()));
     let mut t = Table::new(headers);
     for (name, factors) in configs {
-        let algo = CloudQcPlacement::new(
-            PlacementConfig::default().with_imbalance_factors(factors),
-        );
+        let algo =
+            CloudQcPlacement::new(PlacementConfig::default().with_imbalance_factors(factors));
         let mut row = vec![name.to_owned()];
         for c in circuits {
             let circuit = catalog::by_name(c).expect("catalog circuit");
             let mut ops = 0.0;
             for rep in 0..args.reps {
                 let cloud = CloudBuilder::paper_default(
-                    SimRng::new(args.seed).fork_indexed("topo3", rep as u64).seed(),
+                    SimRng::new(args.seed)
+                        .fork_indexed("topo3", rep as u64)
+                        .seed(),
                 )
                 .build();
                 let p = algo
@@ -247,7 +262,9 @@ fn reliability_ablation(args: &ExpArgs) {
     ] {
         let mut jct = 0.0;
         for rep in 0..args.reps {
-            let topo_seed = SimRng::new(args.seed).fork_indexed("topo4", rep as u64).seed();
+            let topo_seed = SimRng::new(args.seed)
+                .fork_indexed("topo4", rep as u64)
+                .seed();
             let mut builder = CloudBuilder::paper_default(topo_seed);
             if let Some((lo, hi)) = range {
                 builder = builder.link_reliability_range(lo, hi, topo_seed);
@@ -256,9 +273,15 @@ fn reliability_ablation(args: &ExpArgs) {
             let p = CloudQcPlacement::default()
                 .place(&circuit, &cloud, &cloud.status(), args.seed + rep as u64)
                 .expect("placement succeeds");
-            jct += simulate_job(&circuit, &p, &cloud, &CloudQcScheduler, args.seed + rep as u64)
-                .completion_time
-                .as_ticks() as f64;
+            jct += simulate_job(
+                &circuit,
+                &p,
+                &cloud,
+                &CloudQcScheduler,
+                args.seed + rep as u64,
+            )
+            .completion_time
+            .as_ticks() as f64;
         }
         let mean = jct / args.reps as f64;
         if range.is_none() {

@@ -42,7 +42,9 @@ fn main() {
             for rep in 0..args.reps {
                 let run_seed = SimRng::new(args.seed).fork_indexed(name, rep as u64).seed();
                 let cloud = CloudBuilder::paper_default(
-                    SimRng::new(args.seed).fork_indexed("topo", rep as u64).seed(),
+                    SimRng::new(args.seed)
+                        .fork_indexed("topo", rep as u64)
+                        .seed(),
                 )
                 .build();
                 let arrivals = poisson_arrivals(jobs_n, interarrival, run_seed);

@@ -6,7 +6,10 @@ use cloudqc_experiments::Table;
 fn main() {
     let m = LatencyModel::default();
     let cx = m.two_qubit() as f64;
-    println!("Table I: operation latencies (1 CX = {} ticks)\n", m.two_qubit());
+    println!(
+        "Table I: operation latencies (1 CX = {} ticks)\n",
+        m.two_qubit()
+    );
     let mut t = Table::new(vec!["Operation", "Ticks", "In CX units", "Paper"]);
     t.row(vec![
         "Single-qubit gates".into(),

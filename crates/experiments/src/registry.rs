@@ -129,7 +129,12 @@ pub fn multi_tenant_workloads() -> Vec<Workload> {
         },
         Workload {
             name: "Arithmetic",
-            circuits: pick(&["adder_n64", "adder_n118", "multiplier_n45", "multiplier_n75"]),
+            circuits: pick(&[
+                "adder_n64",
+                "adder_n118",
+                "multiplier_n45",
+                "multiplier_n75",
+            ]),
         },
     ]
 }

@@ -13,9 +13,7 @@ use cloudqc_circuit::Circuit;
 use cloudqc_cloud::{Cloud, CloudBuilder};
 use cloudqc_core::batch::OrderingPolicy;
 use cloudqc_core::exec::simulate_job;
-use cloudqc_core::placement::{
-    cost, CloudQcBfsPlacement, CloudQcPlacement, PlacementAlgorithm,
-};
+use cloudqc_core::placement::{cost, CloudQcBfsPlacement, CloudQcPlacement, PlacementAlgorithm};
 use cloudqc_core::schedule::CloudQcScheduler;
 use cloudqc_core::tenant::run_multi_tenant;
 use cloudqc_sim::metrics::Cdf;
@@ -24,8 +22,12 @@ use cloudqc_sim::SimRng;
 /// The paper's default cloud (§VI.A) with a per-repetition topology
 /// seed.
 pub fn default_cloud(seed: u64, rep: usize) -> Cloud {
-    CloudBuilder::paper_default(SimRng::new(seed).fork_indexed("topology", rep as u64).seed())
-        .build()
+    CloudBuilder::paper_default(
+        SimRng::new(seed)
+            .fork_indexed("topology", rep as u64)
+            .seed(),
+    )
+    .build()
 }
 
 /// One x-swept figure: a named circuit, shared x values, and one y
@@ -223,7 +225,9 @@ pub fn fig18_21_data(args: &ExpArgs) -> Vec<FigSeries> {
         vec![0.1, 0.2, 0.3, 0.4, 0.5]
     };
     jct_sweep(args, &representative_circuits(), &x, |p, topo_seed| {
-        CloudBuilder::paper_default(topo_seed).epr_success_prob(p).build()
+        CloudBuilder::paper_default(topo_seed)
+            .epr_success_prob(p)
+            .build()
     })
 }
 
@@ -282,11 +286,7 @@ pub struct CdfSeries {
 /// Scale: the paper uses 50 batches × 20 circuits × 20 topologies; the
 /// default here is 4 × 8 × 2 (pass `--paper` for the full setting).
 pub fn fig14_17_data(args: &ExpArgs) -> Vec<CdfSeries> {
-    let (batches, jobs_per_batch, topologies) = if args.paper {
-        (50, 20, 20)
-    } else {
-        (4, 8, 2)
-    };
+    let (batches, jobs_per_batch, topologies) = if args.paper { (50, 20, 20) } else { (4, 8, 2) };
     let variants: Vec<(&str, Box<dyn PlacementAlgorithm>, OrderingPolicy)> = vec![
         (
             "CloudQC",
@@ -330,11 +330,7 @@ pub fn fig14_17_data(args: &ExpArgs) -> Vec<CdfSeries> {
                             .unwrap_or_else(|e| {
                                 panic!("{name} failed on workload {}: {e}", workload.name)
                             });
-                            jcts.extend(
-                                run.completion_times()
-                                    .iter()
-                                    .map(|t| t.as_ticks() as f64),
-                            );
+                            jcts.extend(run.completion_times().iter().map(|t| t.as_ticks() as f64));
                         }
                     }
                     (name.to_string(), Cdf::new(jcts))
@@ -373,9 +369,7 @@ mod tests {
 
     #[test]
     fn sample_batch_is_deterministic() {
-        let pool = crate::registry::multi_tenant_workloads()
-            .remove(1)
-            .circuits;
+        let pool = crate::registry::multi_tenant_workloads().remove(1).circuits;
         let a = sample_batch(&pool, 5, 7, 0);
         let b = sample_batch(&pool, 5, 7, 0);
         assert_eq!(

@@ -132,10 +132,7 @@ mod tests {
     fn weighted_center_breaks_ties_by_weight() {
         // Square: all nodes have eccentricity 2; node 3 has the heaviest
         // incident weight.
-        let g = Graph::from_edges(
-            4,
-            [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 5.0), (3, 0, 5.0)],
-        );
+        let g = Graph::from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 5.0), (3, 0, 5.0)]);
         assert_eq!(weighted_center(&g), Some(3));
     }
 }

@@ -102,20 +102,23 @@ impl DiGraph {
 
     /// Nodes with no predecessors — the initial *front layer* of a DAG.
     pub fn sources(&self) -> Vec<usize> {
-        (0..self.node_count()).filter(|&u| self.pred[u].is_empty()).collect()
+        (0..self.node_count())
+            .filter(|&u| self.pred[u].is_empty())
+            .collect()
     }
 
     /// Nodes with no successors (DAG leaves).
     pub fn sinks(&self) -> Vec<usize> {
-        (0..self.node_count()).filter(|&u| self.succ[u].is_empty()).collect()
+        (0..self.node_count())
+            .filter(|&u| self.succ[u].is_empty())
+            .collect()
     }
 
     /// Kahn topological order, or `None` if the graph has a cycle.
     pub fn topo_order(&self) -> Option<Vec<usize>> {
         let n = self.node_count();
         let mut in_deg: Vec<usize> = (0..n).map(|u| self.in_degree(u)).collect();
-        let mut queue: VecDeque<usize> =
-            (0..n).filter(|&u| in_deg[u] == 0).collect();
+        let mut queue: VecDeque<usize> = (0..n).filter(|&u| in_deg[u] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(u) = queue.pop_front() {
             order.push(u);

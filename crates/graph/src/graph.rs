@@ -100,7 +100,11 @@ impl Graph {
 
     /// Returns the weight of edge `(u, v)` if present.
     pub fn edge_weight(&self, u: usize, v: usize) -> Option<f64> {
-        self.adj.get(u)?.iter().find(|(n, _)| *n == v).map(|(_, w)| *w)
+        self.adj
+            .get(u)?
+            .iter()
+            .find(|(n, _)| *n == v)
+            .map(|(_, w)| *w)
     }
 
     /// Returns `true` if nodes `u` and `v` are adjacent.

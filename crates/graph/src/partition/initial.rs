@@ -178,7 +178,10 @@ mod tests {
                 break;
             }
         }
-        assert!(found_clean_cut, "greedy growing never respected the clique structure");
+        assert!(
+            found_clean_cut,
+            "greedy growing never respected the clique structure"
+        );
     }
 
     #[test]

@@ -75,7 +75,13 @@ mod tests {
     fn matching_is_symmetric_and_valid() {
         let g = Graph::from_edges(
             6,
-            [(0, 1, 5.0), (1, 2, 1.0), (2, 3, 5.0), (3, 4, 1.0), (4, 5, 5.0)],
+            [
+                (0, 1, 5.0),
+                (1, 2, 1.0),
+                (2, 3, 5.0),
+                (3, 4, 1.0),
+                (4, 5, 5.0),
+            ],
         );
         let mut rng = StdRng::seed_from_u64(1);
         let mate = heavy_edge_matching(&g, &mut rng, f64::INFINITY);
@@ -92,10 +98,7 @@ mod tests {
         // Square with two heavy opposite edges: every node's heaviest
         // incident edge lies in {0-1, 2-3}, so greedy matching must pick
         // exactly those regardless of visit order.
-        let g = Graph::from_edges(
-            4,
-            [(0, 1, 100.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 100.0)],
-        );
+        let g = Graph::from_edges(4, [(0, 1, 100.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 100.0)]);
         for seed in 0..10 {
             let mut rng = StdRng::seed_from_u64(seed);
             let mate = heavy_edge_matching(&g, &mut rng, f64::INFINITY);

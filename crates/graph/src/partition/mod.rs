@@ -195,6 +195,9 @@ mod tests {
             PartitionError::TooManyParts { parts: 5, nodes: 3 }.to_string(),
             "cannot split 3 nodes into 5 parts"
         );
-        assert_eq!(PartitionError::ZeroParts.to_string(), "cannot partition into zero parts");
+        assert_eq!(
+            PartitionError::ZeroParts.to_string(),
+            "cannot partition into zero parts"
+        );
     }
 }

@@ -55,9 +55,7 @@ pub fn partition(graph: &Graph, config: &PartitionConfig) -> Result<Partitioning
     // The balance cap. A floor of (target + max node weight) keeps the
     // problem feasible when indivisible nodes cannot split a perfect
     // share (e.g. unit-weight nodes with n not divisible by k).
-    let max_node = (0..n)
-        .map(|u| graph.node_weight(u))
-        .fold(0.0f64, f64::max);
+    let max_node = (0..n).map(|u| graph.node_weight(u)).fold(0.0f64, f64::max);
     let max_part_weight = (target * (1.0 + config.imbalance)).max(target + max_node);
 
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -68,7 +66,10 @@ pub fn partition(graph: &Graph, config: &PartitionConfig) -> Result<Partitioning
     let hierarchy = coarsen(graph, coarsen_target, target.max(max_node), &mut rng);
 
     // 2. Initial partition on the coarsest graph.
-    let coarsest = hierarchy.coarsest().cloned().unwrap_or_else(|| graph.clone());
+    let coarsest = hierarchy
+        .coarsest()
+        .cloned()
+        .unwrap_or_else(|| graph.clone());
     let mut assignment = greedy_growing(&coarsest, k, target, &mut rng);
     rebalance(&coarsest, &mut assignment, k, max_part_weight);
     refine(
@@ -189,7 +190,12 @@ mod tests {
     fn finds_natural_two_clique_cut() {
         let g = two_cliques(8);
         let p = partition(&g, &PartitionConfig::new(2).with_seed(3)).unwrap();
-        assert_eq!(edge_cut(&g, p.assignment()), 1.0, "assignment {:?}", p.assignment());
+        assert_eq!(
+            edge_cut(&g, p.assignment()),
+            1.0,
+            "assignment {:?}",
+            p.assignment()
+        );
     }
 
     #[test]

@@ -42,7 +42,12 @@ impl DistanceMatrix {
     /// Maximum finite distance in the matrix (the graph diameter when
     /// connected). `0` for an empty matrix.
     pub fn diameter(&self) -> u32 {
-        self.dist.iter().copied().filter(|&d| d != u32::MAX).max().unwrap_or(0)
+        self.dist
+            .iter()
+            .copied()
+            .filter(|&d| d != u32::MAX)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -110,7 +115,10 @@ pub fn dijkstra(graph: &Graph, src: usize) -> Vec<Option<f64>> {
     let mut dist: Vec<Option<f64>> = vec![None; graph.node_count()];
     let mut heap = BinaryHeap::new();
     dist[src] = Some(0.0);
-    heap.push(HeapEntry { cost: 0.0, node: src });
+    heap.push(HeapEntry {
+        cost: 0.0,
+        node: src,
+    });
     while let Some(HeapEntry { cost, node }) = heap.pop() {
         if dist[node].is_some_and(|d| cost > d) {
             continue; // stale entry
@@ -120,7 +128,10 @@ pub fn dijkstra(graph: &Graph, src: usize) -> Vec<Option<f64>> {
             let next = cost + w;
             if dist[v].is_none_or(|d| next < d) {
                 dist[v] = Some(next);
-                heap.push(HeapEntry { cost: next, node: v });
+                heap.push(HeapEntry {
+                    cost: next,
+                    node: v,
+                });
             }
         }
     }
@@ -157,7 +168,10 @@ pub fn widest_path_values(graph: &Graph, src: usize) -> Vec<Option<f64>> {
     width[src] = Some(f64::INFINITY);
     // Max-heap on bottleneck width (reuse HeapEntry by negating cost).
     let mut heap = BinaryHeap::new();
-    heap.push(HeapEntry { cost: f64::NEG_INFINITY, node: src });
+    heap.push(HeapEntry {
+        cost: f64::NEG_INFINITY,
+        node: src,
+    });
     while let Some(HeapEntry { cost, node }) = heap.pop() {
         let w = -cost;
         if width[node].is_some_and(|best| w < best) {
@@ -168,7 +182,10 @@ pub fn widest_path_values(graph: &Graph, src: usize) -> Vec<Option<f64>> {
             let next = w.min(ew);
             if width[v].is_none_or(|best| next > best) {
                 width[v] = Some(next);
-                heap.push(HeapEntry { cost: -next, node: v });
+                heap.push(HeapEntry {
+                    cost: -next,
+                    node: v,
+                });
             }
         }
     }

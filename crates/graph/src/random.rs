@@ -31,7 +31,10 @@ use rand::{RngExt, SeedableRng};
 /// assert_eq!(g.edge_count(), same.edge_count());
 /// ```
 pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
-    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "edge probability must be in [0, 1]"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = Graph::new(n);
     for u in 0..n {

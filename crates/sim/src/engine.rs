@@ -44,10 +44,7 @@ pub trait Simulation {
 /// assert_eq!(sim.fired, 4);
 /// assert_eq!(end, Tick::new(30));
 /// ```
-pub fn run_to_completion<S: Simulation>(
-    sim: &mut S,
-    queue: &mut EventQueue<S::Event>,
-) -> Tick {
+pub fn run_to_completion<S: Simulation>(sim: &mut S, queue: &mut EventQueue<S::Event>) -> Tick {
     let mut now = Tick::ZERO;
     while let Some((time, event)) = queue.pop() {
         assert!(time >= now, "event scheduled in the past: {time} < {now}");

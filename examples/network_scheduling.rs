@@ -16,7 +16,9 @@ use cloudqc::core::schedule::{
 use cloudqc::core::simulate_job;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "qft_n63".to_owned());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "qft_n63".to_owned());
     let Some(circuit) = catalog::by_name(&name) else {
         eprintln!("unknown circuit `{name}`");
         std::process::exit(2);
@@ -42,7 +44,10 @@ fn main() {
         Box::new(RandomScheduler),
         Box::new(CloudQcScheduler),
     ];
-    println!("{:<10} {:>12} {:>12} {:>14}", "scheduler", "JCT (ticks)", "EPR rounds", "vs CloudQC");
+    println!(
+        "{:<10} {:>12} {:>12} {:>14}",
+        "scheduler", "JCT (ticks)", "EPR rounds", "vs CloudQC"
+    );
     let reps = 5;
     let mean_jct = |s: &dyn Scheduler| -> (f64, f64) {
         let mut jct = 0.0;

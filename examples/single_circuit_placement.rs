@@ -16,7 +16,9 @@ use cloudqc::core::schedule::CloudQcScheduler;
 use cloudqc::core::simulate_job;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "qugan_n71".to_owned());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "qugan_n71".to_owned());
     let Some(circuit) = catalog::by_name(&name) else {
         eprintln!("unknown circuit `{name}` — try qugan_n71, knn_n67, adder_n64, qft_n63 …");
         std::process::exit(2);

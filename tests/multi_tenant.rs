@@ -78,7 +78,12 @@ fn jct_includes_queueing_delay() {
     assert!(admitted[2] >= admitted[1]);
     // And completion time from arrival strictly exceeds the service
     // time for the queued jobs.
-    let max_jct = run.outcomes.iter().map(|o| o.completion_time).max().unwrap();
+    let max_jct = run
+        .outcomes
+        .iter()
+        .map(|o| o.completion_time)
+        .max()
+        .unwrap();
     assert!(max_jct >= admitted[2]);
 }
 

@@ -82,7 +82,13 @@ fn shape_fig18_21_jct_decreases_with_epr_probability() {
         let placement = CloudQcPlacement::default()
             .place(&circuit, &cloud, &cloud.status(), 2)
             .unwrap();
-        means.push(mean_jct(&circuit, &placement, &cloud, &CloudQcScheduler, reps));
+        means.push(mean_jct(
+            &circuit,
+            &placement,
+            &cloud,
+            &CloudQcScheduler,
+            reps,
+        ));
     }
     assert!(
         means[0] > means[1] && means[1] > means[2],
@@ -108,7 +114,10 @@ fn shape_fig10_13_more_comm_qubits_help() {
     };
     let low = jct_at(2);
     let high = jct_at(10);
-    assert!(high < low, "10 comm qubits ({high}) not faster than 2 ({low})");
+    assert!(
+        high < low,
+        "10 comm qubits ({high}) not faster than 2 ({low})"
+    );
 }
 
 /// §VI.C's premise: all four schedulers are correct (same workload

@@ -1,0 +1,100 @@
+//! QASM round-trip coverage of the entire generator catalog.
+//!
+//! Every named instance the paper evaluates (Table II) plus the
+//! multi-tenant workload widths must survive export → parse with its
+//! gate counts, depth, and interaction graph intact. A property test
+//! then sweeps random widths of every generator family so new widths
+//! stay covered too.
+
+use cloudqc::circuit::generators::catalog::{self, TABLE2_INSTANCES};
+use cloudqc::circuit::interaction::interaction_graph;
+use cloudqc::circuit::{qasm, Circuit};
+use proptest::prelude::*;
+
+/// Asserts a full structural round-trip for one circuit.
+fn assert_roundtrip(name: &str, original: &Circuit) {
+    let text = qasm::write(original);
+    let parsed = qasm::parse(&text)
+        .unwrap_or_else(|e| panic!("{name}: exported QASM failed to parse: {e:?}"));
+    assert_eq!(parsed.num_qubits(), original.num_qubits(), "{name}: qubits");
+    assert_eq!(parsed.gate_count(), original.gate_count(), "{name}: gates");
+    assert_eq!(
+        parsed.two_qubit_gate_count(),
+        original.two_qubit_gate_count(),
+        "{name}: two-qubit gates"
+    );
+    assert_eq!(parsed.depth(), original.depth(), "{name}: depth");
+    assert!(
+        interaction_graph(&parsed) == interaction_graph(original),
+        "{name}: interaction graph changed across round-trip"
+    );
+}
+
+#[test]
+fn every_table2_instance_round_trips() {
+    for name in TABLE2_INSTANCES {
+        let circuit =
+            catalog::by_name(name).unwrap_or_else(|| panic!("{name} missing from catalog"));
+        assert_roundtrip(name, &circuit);
+    }
+}
+
+#[test]
+fn multi_tenant_workload_instances_round_trip() {
+    // The §VI.D multi-tenant batches use smaller widths of the same
+    // families; exercise one small width per family, including VQE
+    // which Table II omits.
+    for name in [
+        "ghz_n6",
+        "cat_n6",
+        "bv_n8",
+        "ising_n8",
+        "swap_test_n7",
+        "knn_n9",
+        "qugan_n9",
+        "cc_n6",
+        "adder_n8",
+        "multiplier_n9",
+        "qft_n29",
+        "qv_n8",
+        "vqe_n4",
+        "vqe_uccsd_n4",
+    ] {
+        let circuit =
+            catalog::by_name(name).unwrap_or_else(|| panic!("{name} missing from catalog"));
+        assert_roundtrip(name, &circuit);
+    }
+}
+
+/// Strategy: a valid catalog name with a random width for each family.
+fn catalog_name_strategy() -> impl Strategy<Value = String> {
+    (0usize..14, 0usize..40).prop_map(|(family, w)| {
+        match family {
+            0 => format!("ghz_n{}", 2 + w),
+            1 => format!("cat_n{}", 2 + w),
+            2 => format!("bv_n{}", 2 + w),
+            3 => format!("ising_n{}", 2 + w),
+            4 => format!("swap_test_n{}", 3 + 2 * w), // odd ≥ 3
+            5 => format!("knn_n{}", 3 + 2 * w),       // odd ≥ 3
+            6 => format!("qugan_n{}", 5 + 2 * w),     // odd ≥ 5
+            7 => format!("cc_n{}", 3 + w),
+            8 => format!("adder_n{}", 4 + 2 * w), // even ≥ 4
+            9 => format!("multiplier_n{}", 6 + 3 * w), // multiple of 3, ≥ 6
+            10 => format!("qft_n{}", 2 + w),
+            11 => format!("qv_n{}", 2 + w),
+            12 => format!("vqe_n{}", 2 + w),
+            _ => format!("vqe_uccsd_n{}", 4 + w),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_widths_of_every_family_round_trip(name in catalog_name_strategy()) {
+        let circuit = catalog::by_name(&name);
+        prop_assert!(circuit.is_some(), "{} rejected by catalog", name);
+        assert_roundtrip(&name, &circuit.unwrap());
+    }
+}

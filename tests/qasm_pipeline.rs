@@ -54,9 +54,10 @@ fn angle_fidelity_through_roundtrip() {
     // Compare every rotation angle bit-for-bit (the writer prints full
     // precision).
     for (a, b) in original.gates().iter().zip(parsed.gates()) {
-        if let (
-                cloudqc::circuit::GateKind::Rz(x),
-                cloudqc::circuit::GateKind::Rz(y),
-            ) = (a.kind(), b.kind()) { assert!((x - y).abs() < 1e-15) }
+        if let (cloudqc::circuit::GateKind::Rz(x), cloudqc::circuit::GateKind::Rz(y)) =
+            (a.kind(), b.kind())
+        {
+            assert!((x - y).abs() < 1e-15)
+        }
     }
 }
