@@ -1,6 +1,6 @@
 //! Framework error types.
 
-use cloudqc_cloud::ResourceError;
+use cloudqc_cloud::{QpuId, ResourceError};
 use std::error::Error;
 use std::fmt;
 
@@ -58,6 +58,62 @@ impl From<ResourceError> for PlacementError {
     }
 }
 
+/// Reasons a job cannot be admitted to the executor: its placement
+/// induces remote gates the cloud's communication fabric can never
+/// serve. The orchestrator rejects such jobs instead of aborting the
+/// whole run; [`crate::exec::Executor::add_job`] stays as a panicking
+/// convenience wrapper for tests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// A remote gate's endpoint QPU owns zero communication qubits, so
+    /// no EPR pair can ever be generated for it.
+    NoCommQubits {
+        /// First endpoint of the offending remote gate.
+        a: QpuId,
+        /// Second endpoint of the offending remote gate.
+        b: QpuId,
+    },
+    /// No quantum path connects a remote gate's endpoints.
+    NoRoute {
+        /// First endpoint of the offending remote gate.
+        a: QpuId,
+        /// Second endpoint of the offending remote gate.
+        b: QpuId,
+    },
+    /// Path reservation is enabled and a swapping station on the
+    /// selected route owns zero communication qubits.
+    StationWithoutCommQubits {
+        /// The saturated intermediate QPU.
+        station: QpuId,
+        /// First endpoint of the routed remote gate.
+        a: QpuId,
+        /// Second endpoint of the routed remote gate.
+        b: QpuId,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::NoCommQubits { a, b } => {
+                write!(f, "remote gate endpoints {a}/{b} lack communication qubits")
+            }
+            ExecError::NoRoute { a, b } => {
+                write!(f, "no quantum path between {a} and {b}")
+            }
+            ExecError::StationWithoutCommQubits { station, a, b } => {
+                write!(
+                    f,
+                    "swapping station {station} on route {a}->{b} lacks communication qubits"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ExecError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,6 +129,24 @@ mod tests {
         assert!(PlacementError::NoFeasiblePlacement
             .to_string()
             .contains("feasible"));
+    }
+
+    #[test]
+    fn exec_error_display_forms() {
+        let (a, b) = (QpuId::new(0), QpuId::new(3));
+        assert!(ExecError::NoCommQubits { a, b }
+            .to_string()
+            .contains("lack communication qubits"));
+        assert!(ExecError::NoRoute { a, b }
+            .to_string()
+            .contains("no quantum path"));
+        let e = ExecError::StationWithoutCommQubits {
+            station: QpuId::new(1),
+            a,
+            b,
+        };
+        assert!(e.to_string().contains("swapping station"));
+        assert!(e.to_string().contains("QPU1"));
     }
 
     #[test]

@@ -16,7 +16,21 @@
 //!
 //! Determinism: one seeded RNG drives EPR outcomes; events tie-break in
 //! FIFO order; scheduler inputs are sorted.
+//!
+//! # Hot path
+//!
+//! The allocation front layer is maintained *incrementally*: the
+//! request set (one [`RemoteRequest`] per pending remote gate, sorted
+//! by key) is updated when a gate enters or leaves the front layer
+//! instead of being rebuilt from every job's pending list on every
+//! event round. Routes and swapping-station indices are resolved once
+//! at admission and cached per remote gate; the path-reservation filter
+//! reuses one scratch buffer across rounds. The incremental set is
+//! byte-for-byte equivalent to the rebuild (requests carry static
+//! endpoints and priorities and are consumed in sorted-key order), so
+//! seeded runs reproduce the pre-optimization schedules exactly.
 
+use crate::error::ExecError;
 use crate::placement::Placement;
 use crate::schedule::{validate_allocations, RemoteRequest, Scheduler};
 use cloudqc_circuit::dag::{gate_dag, FrontTracker};
@@ -41,6 +55,10 @@ pub struct JobResult {
     pub remote_gates: usize,
     /// Total EPR generation rounds spent across all remote gates.
     pub epr_rounds: u64,
+    /// Ticks of the service time during which the job had at least one
+    /// EPR generation round in flight — the entanglement-wait share of
+    /// the latency breakdown.
+    pub epr_wait: u64,
 }
 
 #[derive(Debug)]
@@ -60,14 +78,18 @@ struct JobState {
     remote: RemoteDag,
     priorities: Vec<usize>,
     remaining_hops: Vec<u32>,
-    /// Selected route per remote node (Fig. 4 "Selected paths"); only
-    /// populated in path-reservation mode.
-    paths: Vec<Vec<QpuId>>,
-    /// Remote nodes ready for allocation (front layer ∩ remote).
-    pending: Vec<usize>,
+    /// Swapping-station QPU indices per remote node (the intermediates
+    /// of the Fig. 4 "Selected paths"); resolved once at admission and
+    /// only populated in path-reservation mode.
+    stations: Vec<Vec<usize>>,
     started_at: Tick,
     finished_at: Option<Tick>,
     epr_rounds: u64,
+    /// EPR-wait accounting: rounds currently in flight, the instant the
+    /// current busy interval opened, and the accumulated busy ticks.
+    active_rounds: u32,
+    epr_busy_since: Tick,
+    epr_wait: u64,
     gate_latency: Vec<u64>,
 }
 
@@ -87,6 +109,13 @@ pub struct Executor<'a> {
     now: Tick,
     unfinished: usize,
     path_reservation: bool,
+    /// The allocation front layer: one request per pending remote gate,
+    /// kept sorted by key (maintained incrementally).
+    requests: Vec<RemoteRequest>,
+    /// Reused buffer for the path-reservation round filter.
+    round_scratch: Vec<RemoteRequest>,
+    /// Jobs finished since the last drain, in completion-event order.
+    newly_finished: Vec<usize>,
 }
 
 impl<'a> Executor<'a> {
@@ -104,6 +133,9 @@ impl<'a> Executor<'a> {
             now: Tick::ZERO,
             unfinished: 0,
             path_reservation: false,
+            requests: Vec::new(),
+            round_scratch: Vec::new(),
+            newly_finished: Vec::new(),
         }
     }
 
@@ -136,23 +168,56 @@ impl<'a> Executor<'a> {
         self.unfinished
     }
 
-    /// Admits a job at the current simulated time. Returns its id.
+    /// Free communication qubits per QPU. When no job holds an EPR
+    /// round this equals every QPU's communication capacity (resource
+    /// conservation).
+    pub fn comm_free(&self) -> &[usize] {
+        &self.comm_free
+    }
+
+    /// Admits a job at the current simulated time, or explains why its
+    /// placement can never execute on this cloud.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a remote gate's endpoint QPU has zero communication
-    /// qubits (the job could never complete).
-    pub fn add_job(&mut self, circuit: &Circuit, placement: &Placement) -> usize {
+    /// [`ExecError`] if a remote gate's endpoint lacks communication
+    /// qubits, or (in path-reservation mode) its route is missing or
+    /// crosses a station without communication qubits. The executor is
+    /// unchanged on error.
+    pub fn try_add_job(
+        &mut self,
+        circuit: &Circuit,
+        placement: &Placement,
+    ) -> Result<usize, ExecError> {
         let dag = gate_dag(circuit);
         let remote = RemoteDag::new(circuit, placement, self.cloud);
         for n in 0..remote.node_count() {
             let (a, b) = remote.endpoints(n);
-            assert!(
-                self.cloud.qpu(a).communication_qubits() > 0
-                    && self.cloud.qpu(b).communication_qubits() > 0,
-                "remote gate endpoints {a}/{b} lack communication qubits"
-            );
+            if self.cloud.qpu(a).communication_qubits() == 0
+                || self.cloud.qpu(b).communication_qubits() == 0
+            {
+                return Err(ExecError::NoCommQubits { a, b });
+            }
         }
+        let stations: Vec<Vec<usize>> = if self.path_reservation {
+            let mut all = Vec::with_capacity(remote.node_count());
+            for n in 0..remote.node_count() {
+                let (a, b) = remote.endpoints(n);
+                let path = crate::schedule::routing::select_path(self.cloud, a, b)
+                    .ok_or(ExecError::NoRoute { a, b })?;
+                let mids = crate::schedule::routing::intermediates(&path);
+                for q in mids {
+                    if self.cloud.qpu(*q).communication_qubits() == 0 {
+                        return Err(ExecError::StationWithoutCommQubits { station: *q, a, b });
+                    }
+                }
+                all.push(mids.iter().map(|q| q.index()).collect());
+            }
+            all
+        } else {
+            Vec::new()
+        };
+
         let prio = priorities(&remote);
         let latency = self.cloud.latency();
         let gate_latency: Vec<u64> = circuit
@@ -167,24 +232,6 @@ impl<'a> Executor<'a> {
         let remaining_hops: Vec<u32> = (0..remote.node_count())
             .map(|n| remote.hops(n).max(1))
             .collect();
-        let paths: Vec<Vec<QpuId>> = if self.path_reservation {
-            (0..remote.node_count())
-                .map(|n| {
-                    let (a, b) = remote.endpoints(n);
-                    let path = crate::schedule::routing::select_path(self.cloud, a, b)
-                        .unwrap_or_else(|| panic!("no quantum path between {a} and {b}"));
-                    for q in crate::schedule::routing::intermediates(&path) {
-                        assert!(
-                            self.cloud.qpu(*q).communication_qubits() > 0,
-                            "swapping station {q} on route {a}->{b} lacks communication qubits"
-                        );
-                    }
-                    path
-                })
-                .collect()
-        } else {
-            Vec::new()
-        };
         let tracker = FrontTracker::new(&dag);
         let id = self.jobs.len();
         let initially_ready: Vec<usize> = tracker.ready().to_vec();
@@ -193,32 +240,56 @@ impl<'a> Executor<'a> {
             remote,
             priorities: prio,
             remaining_hops,
-            paths,
-            pending: Vec::new(),
+            stations,
             started_at: self.now,
             finished_at: None,
             epr_rounds: 0,
+            active_rounds: 0,
+            epr_busy_since: self.now,
+            epr_wait: 0,
             gate_latency,
         });
         self.unfinished += 1;
         if initially_ready.is_empty() {
             // Empty circuit: finishes instantly.
-            self.jobs[id].finished_at = Some(self.now);
-            self.unfinished -= 1;
+            self.finish_job(id);
         } else {
             for gate in initially_ready {
                 self.dispatch(id, gate);
             }
             self.try_allocate();
         }
-        id
+        Ok(id)
+    }
+
+    /// Admits a job at the current simulated time. Returns its id.
+    ///
+    /// Panicking convenience wrapper over [`Executor::try_add_job`]
+    /// (the orchestrator uses the fallible form to reject jobs instead
+    /// of aborting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a remote gate's endpoint QPU has zero communication
+    /// qubits (the job could never complete), or, in path-reservation
+    /// mode, if a route is missing or crosses a zero-capacity station.
+    pub fn add_job(&mut self, circuit: &Circuit, placement: &Placement) -> usize {
+        self.try_add_job(circuit, placement)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Marks a job finished at the current time.
+    fn finish_job(&mut self, job: usize) {
+        self.jobs[job].finished_at = Some(self.now);
+        self.unfinished -= 1;
+        self.newly_finished.push(job);
     }
 
     /// Routes a ready gate: local gates get a completion event, remote
     /// gates join the allocation front layer.
     fn dispatch(&mut self, job: usize, gate: usize) {
         match self.jobs[job].remote.node_of_gate(gate) {
-            Some(node) => self.jobs[job].pending.push(node),
+            Some(node) => self.insert_request(job, node),
             None => {
                 let lat = self.jobs[job].gate_latency[gate];
                 self.queue
@@ -227,41 +298,76 @@ impl<'a> Executor<'a> {
         }
     }
 
+    /// Adds the request for remote gate `node` of `job` to the front
+    /// layer, keeping the set sorted by key.
+    fn insert_request(&mut self, job: usize, node: usize) {
+        let state = &self.jobs[job];
+        let (a, b) = state.remote.endpoints(node);
+        let req = RemoteRequest {
+            key: encode_key(job, node),
+            a,
+            b,
+            priority: state.priorities[node],
+        };
+        let pos = self
+            .requests
+            .binary_search_by_key(&req.key, |r| r.key)
+            .expect_err("request keys are unique while pending");
+        self.requests.insert(pos, req);
+    }
+
+    /// Removes a request from the front layer (its round started).
+    fn remove_request(&mut self, key: u64) {
+        let pos = self
+            .requests
+            .binary_search_by_key(&key, |r| r.key)
+            .expect("allocated request was pending");
+        self.requests.remove(pos);
+    }
+
     /// Runs the network scheduler over all pending remote gates.
     fn try_allocate(&mut self) {
-        let mut requests: Vec<RemoteRequest> = Vec::new();
-        for (job_id, job) in self.jobs.iter().enumerate() {
-            for &node in &job.pending {
-                // Path reservation: a gate whose swapping stations are
-                // saturated cannot start a round; defer it.
-                if self.path_reservation {
-                    let stations = crate::schedule::routing::intermediates(&job.paths[node]);
-                    if stations.iter().any(|q| self.comm_free[q.index()] == 0) {
-                        continue;
-                    }
-                }
-                let (a, b) = job.remote.endpoints(node);
-                requests.push(RemoteRequest {
-                    key: encode_key(job_id, node),
-                    a,
-                    b,
-                    priority: job.priorities[node],
-                });
-            }
-        }
-        if requests.is_empty() {
+        if self.requests.is_empty() {
             return;
         }
-        requests.sort_by_key(|r| r.key);
-        let allocations = self
-            .scheduler
-            .allocate(&requests, &self.comm_free, &mut self.rng);
-        debug_assert!(
-            validate_allocations(&requests, &self.comm_free, &allocations).is_ok(),
-            "scheduler {} violated its contract: {:?}",
-            self.scheduler.name(),
-            validate_allocations(&requests, &self.comm_free, &allocations)
-        );
+        let scheduler = self.scheduler;
+        let allocations = if self.path_reservation {
+            // Gates whose swapping stations are saturated cannot start
+            // a round; filter them out (into a reused buffer).
+            let jobs = &self.jobs;
+            let comm_free = &self.comm_free;
+            self.round_scratch.clear();
+            self.round_scratch.extend(
+                self.requests
+                    .iter()
+                    .filter(|r| {
+                        let (job, node) = decode_key(r.key);
+                        jobs[job].stations[node].iter().all(|&q| comm_free[q] > 0)
+                    })
+                    .copied(),
+            );
+            if self.round_scratch.is_empty() {
+                return;
+            }
+            let allocations =
+                scheduler.allocate(&self.round_scratch, &self.comm_free, &mut self.rng);
+            debug_assert!(
+                validate_allocations(&self.round_scratch, &self.comm_free, &allocations).is_ok(),
+                "scheduler {} violated its contract: {:?}",
+                scheduler.name(),
+                validate_allocations(&self.round_scratch, &self.comm_free, &allocations)
+            );
+            allocations
+        } else {
+            let allocations = scheduler.allocate(&self.requests, &self.comm_free, &mut self.rng);
+            debug_assert!(
+                validate_allocations(&self.requests, &self.comm_free, &allocations).is_ok(),
+                "scheduler {} violated its contract: {:?}",
+                scheduler.name(),
+                validate_allocations(&self.requests, &self.comm_free, &allocations)
+            );
+            allocations
+        };
         let epr_latency = self.cloud.latency().epr_attempt();
         for alloc in allocations {
             let (job, node) = decode_key(alloc.key);
@@ -278,27 +384,23 @@ impl<'a> Executor<'a> {
                 if pairs == 0 {
                     continue;
                 }
-                let stations: Vec<usize> =
-                    crate::schedule::routing::intermediates(&self.jobs[job].paths[node])
-                        .iter()
-                        .map(|q| q.index())
-                        .collect();
+                let stations = &self.jobs[job].stations[node];
                 if stations.iter().any(|&q| self.comm_free[q] == 0) {
                     continue;
                 }
-                for &q in &stations {
+                for &q in stations {
                     self.comm_free[q] -= 1;
                 }
             }
             self.comm_free[a.index()] -= pairs;
             self.comm_free[b.index()] -= pairs;
-            let pending = &mut self.jobs[job].pending;
-            let pos = pending
-                .iter()
-                .position(|&n| n == node)
-                .expect("allocated node was pending");
-            pending.swap_remove(pos);
-            self.jobs[job].epr_rounds += 1;
+            self.remove_request(alloc.key);
+            let state = &mut self.jobs[job];
+            state.epr_rounds += 1;
+            if state.active_rounds == 0 {
+                state.epr_busy_since = self.now;
+            }
+            state.active_rounds += 1;
             self.queue.push(
                 self.now + epr_latency,
                 Event::RoundDone { job, node, pairs },
@@ -314,8 +416,7 @@ impl<'a> Executor<'a> {
                     self.dispatch(job, g);
                 }
                 if self.jobs[job].tracker.is_done() {
-                    self.jobs[job].finished_at = Some(self.now);
-                    self.unfinished -= 1;
+                    self.finish_job(job);
                 }
             }
             Event::RoundDone { job, node, pairs } => {
@@ -323,8 +424,15 @@ impl<'a> Executor<'a> {
                 self.comm_free[a.index()] += pairs;
                 self.comm_free[b.index()] += pairs;
                 if self.path_reservation {
-                    for q in crate::schedule::routing::intermediates(&self.jobs[job].paths[node]) {
-                        self.comm_free[q.index()] += 1;
+                    for &q in &self.jobs[job].stations[node] {
+                        self.comm_free[q] += 1;
+                    }
+                }
+                {
+                    let state = &mut self.jobs[job];
+                    state.active_rounds -= 1;
+                    if state.active_rounds == 0 {
+                        state.epr_wait += self.now - state.epr_busy_since;
                     }
                 }
                 // Each remaining hop attempts entanglement this round;
@@ -344,7 +452,7 @@ impl<'a> Executor<'a> {
                     let done_at = self.now + self.cloud.latency().remote_gate_completion();
                     self.queue.push(done_at, Event::GateDone { job, gate });
                 } else {
-                    self.jobs[job].pending.push(node);
+                    self.insert_request(job, node);
                 }
             }
         }
@@ -360,7 +468,7 @@ impl<'a> Executor<'a> {
     /// allocated (zero-capacity endpoints).
     pub fn step(&mut self) -> bool {
         let Some(t) = self.queue.peek_time() else {
-            let stuck: usize = self.jobs.iter().map(|j| j.pending.len()).sum();
+            let stuck = self.requests.len();
             assert!(
                 stuck == 0,
                 "executor deadlock: {stuck} remote gates pending with no events in flight"
@@ -376,51 +484,43 @@ impl<'a> Executor<'a> {
         true
     }
 
+    /// Drains the finished-job buffer, in ascending job id.
+    fn drain_finished(&mut self) -> Vec<usize> {
+        let mut finished = std::mem::take(&mut self.newly_finished);
+        finished.sort_unstable();
+        finished
+    }
+
     /// Runs until every admitted job finishes.
     pub fn run_to_completion(&mut self) {
         while self.unfinished > 0 && self.step() {}
         assert_eq!(self.unfinished, 0, "executor stalled with unfinished jobs");
+        self.newly_finished.clear();
     }
 
     /// Processes every event at or before `deadline`, then advances the
     /// clock to `deadline` (so jobs can be admitted at exact arrival
     /// times in incoming-job mode). Returns the ids of jobs that
-    /// finished during this call.
+    /// finished since the previous `run_*` call, in ascending id.
     pub fn run_until(&mut self, deadline: Tick) -> Vec<usize> {
-        let before: Vec<bool> = self.jobs.iter().map(|j| j.finished_at.is_some()).collect();
         while self.queue.peek_time().is_some_and(|t| t <= deadline) {
             self.step();
         }
         self.now = self.now.max(deadline);
-        self.jobs
-            .iter()
-            .enumerate()
-            .filter(|(i, j)| j.finished_at.is_some() && !before[*i])
-            .map(|(i, _)| i)
-            .collect()
+        self.drain_finished()
     }
 
     /// Runs until at least one more job finishes; returns the ids of
-    /// jobs that finished during this call (possibly several at one
-    /// tick), or an empty vec if everything is already done.
+    /// jobs that finished since the previous `run_*` call (possibly
+    /// several at one tick), or an empty vec if everything is already
+    /// done.
     pub fn run_until_next_completion(&mut self) -> Vec<usize> {
-        let before: Vec<bool> = self.jobs.iter().map(|j| j.finished_at.is_some()).collect();
-        if self.unfinished == 0 {
-            return Vec::new();
-        }
-        loop {
-            let progressed = self.step();
-            let newly: Vec<usize> = self
-                .jobs
-                .iter()
-                .enumerate()
-                .filter(|(i, j)| j.finished_at.is_some() && !before[*i])
-                .map(|(i, _)| i)
-                .collect();
-            if !newly.is_empty() || !progressed {
-                return newly;
+        while self.newly_finished.is_empty() {
+            if !self.step() {
+                break;
             }
         }
+        self.drain_finished()
     }
 
     /// The result of job `id`, or `None` if it has not finished.
@@ -433,6 +533,7 @@ impl<'a> Executor<'a> {
             completion_time: Tick::new(finished_at - job.started_at),
             remote_gates: job.remote.node_count(),
             epr_rounds: job.epr_rounds,
+            epr_wait: job.epr_wait,
         })
     }
 }
@@ -505,6 +606,7 @@ mod tests {
         assert_eq!(r.completion_time, Tick::new(61));
         assert_eq!(r.remote_gates, 0);
         assert_eq!(r.epr_rounds, 0);
+        assert_eq!(r.epr_wait, 0);
     }
 
     #[test]
@@ -529,6 +631,8 @@ mod tests {
         assert!(r.completion_time >= Tick::new(161));
         // Round count matches the elapsed time structure.
         assert_eq!(r.completion_time.as_ticks(), r.epr_rounds * 100 + 61);
+        // The whole EPR phase was back-to-back rounds.
+        assert_eq!(r.epr_wait, r.epr_rounds * 100);
     }
 
     #[test]
@@ -543,6 +647,7 @@ mod tests {
         let r = simulate_job(&c, &p, &cloud, &CloudQcScheduler, 2);
         assert_eq!(r.epr_rounds, 1);
         assert_eq!(r.completion_time, Tick::new(161));
+        assert_eq!(r.epr_wait, 100);
     }
 
     #[test]
@@ -622,6 +727,10 @@ mod tests {
         // second job's gate waits one full round behind the first.
         assert_eq!(r1.completion_time, Tick::new(161));
         assert_eq!(r2.completion_time, Tick::new(261));
+        // Job 2 waited pending for round 1, then ran round 2: its
+        // in-flight EPR window is one round, not two.
+        assert_eq!(r1.epr_wait, 100);
+        assert_eq!(r2.epr_wait, 100);
     }
 
     #[test]
@@ -651,6 +760,9 @@ mod tests {
         let id = exec.add_job(&c, &local_placement(3));
         let r = exec.job_result(id).unwrap();
         assert_eq!(r.completion_time, Tick::ZERO);
+        // The instant completion is still reported by the next drain,
+        // so orchestrators record it.
+        assert_eq!(exec.run_until_next_completion(), vec![id]);
     }
 
     #[test]
@@ -748,8 +860,7 @@ mod tests {
     #[test]
     fn path_reservation_comm_accounting_balances() {
         // Many multi-hop gates on a ring; after completion every comm
-        // qubit must be back in the pool (checked indirectly: a fresh
-        // job still runs).
+        // qubit must be back in the pool.
         let cloud = CloudBuilder::new(5)
             .ring_topology()
             .communication_qubits(2)
@@ -771,9 +882,11 @@ mod tests {
         let first = exec.add_job(&c, &p);
         exec.run_to_completion();
         assert!(exec.job_result(first).is_some());
+        assert_eq!(exec.comm_free(), &[2, 2, 2, 2, 2]);
         let second = exec.add_job(&c, &p);
         exec.run_to_completion();
         assert!(exec.job_result(second).is_some());
+        assert_eq!(exec.comm_free(), &[2, 2, 2, 2, 2]);
     }
 
     #[test]
@@ -788,5 +901,84 @@ mod tests {
         let p = Placement::new(vec![QpuId::new(0), QpuId::new(1)]);
         let mut exec = Executor::new(&cloud, &CloudQcScheduler, 0);
         exec.add_job(&c, &p);
+    }
+
+    #[test]
+    fn try_add_job_rejects_without_mutating() {
+        let cloud = CloudBuilder::new(2)
+            .line_topology()
+            .communication_qubits(0)
+            .build();
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let p = Placement::new(vec![QpuId::new(0), QpuId::new(1)]);
+        let mut exec = Executor::new(&cloud, &CloudQcScheduler, 0);
+        let err = exec.try_add_job(&c, &p).unwrap_err();
+        assert!(matches!(err, ExecError::NoCommQubits { .. }));
+        assert_eq!(exec.unfinished_jobs(), 0);
+        // A feasible (local) job is still admitted with id 0.
+        let local = Placement::new(vec![QpuId::new(0), QpuId::new(0)]);
+        assert_eq!(exec.try_add_job(&c, &local).unwrap(), 0);
+        exec.run_to_completion();
+    }
+
+    #[test]
+    fn try_add_job_reports_missing_route_under_reservation() {
+        use cloudqc_cloud::{EprModel, LatencyModel, Qpu};
+        use cloudqc_graph::Graph;
+        let mut topo = Graph::new(3);
+        topo.add_edge(0, 1, 1.0);
+        let cloud = Cloud::from_parts(
+            vec![Qpu::new(4, 2); 3],
+            topo,
+            LatencyModel::default(),
+            EprModel::default(),
+        );
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let p = Placement::new(vec![QpuId::new(0), QpuId::new(2)]);
+        let mut exec = Executor::new(&cloud, &CloudQcScheduler, 0).with_path_reservation(true);
+        let err = exec.try_add_job(&c, &p).unwrap_err();
+        assert!(matches!(err, ExecError::NoRoute { .. }));
+    }
+
+    #[test]
+    fn comm_qubits_conserved_after_contended_run() {
+        let cloud = CloudBuilder::new(3)
+            .ring_topology()
+            .communication_qubits(2)
+            .build();
+        let mut c = Circuit::new(4);
+        c.cx(0, 1).cx(1, 2).cx(2, 3).cx(3, 0);
+        let p = Placement::new(vec![
+            QpuId::new(0),
+            QpuId::new(1),
+            QpuId::new(2),
+            QpuId::new(0),
+        ]);
+        let mut exec = Executor::new(&cloud, &CloudQcScheduler, 9);
+        exec.add_job(&c, &p);
+        exec.add_job(&c, &p);
+        exec.run_to_completion();
+        assert_eq!(exec.comm_free(), &[2, 2, 2]);
+    }
+
+    #[test]
+    fn epr_wait_bounded_by_service_time() {
+        let cloud = CloudBuilder::new(4)
+            .line_topology()
+            .epr_success_prob(0.4)
+            .build();
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).cx(1, 2).cx(2, 3).measure_all();
+        let p = Placement::new(vec![
+            QpuId::new(0),
+            QpuId::new(1),
+            QpuId::new(2),
+            QpuId::new(3),
+        ]);
+        let r = simulate_job(&c, &p, &cloud, &CloudQcScheduler, 17);
+        assert!(r.epr_wait > 0, "remote gates must wait on EPR");
+        assert!(r.epr_wait <= r.completion_time.as_ticks());
     }
 }

@@ -14,9 +14,14 @@
 //!   §VI.C.
 //! * [`exec`] — the discrete-event executor: local gate latencies,
 //!   probabilistic EPR rounds, shared communication qubits across
-//!   concurrent jobs.
+//!   concurrent jobs, an incrementally maintained allocation front
+//!   layer.
+//! * [`runtime`] / [`workload`] — the unified cloud runtime: seed-
+//!   deterministic workloads (batch, Poisson, bursty, trace replay)
+//!   through pluggable admission (FCFS, backfill, priority-aware) into
+//!   the shared executor, reporting per-job latency breakdowns.
 //! * [`batch`] / [`tenant`] — the batch manager (Eq. 11) and the
-//!   multi-tenant orchestrator of §VI.D.
+//!   multi-tenant entry points of §VI.D, thin wrappers over [`runtime`].
 //!
 //! # Placing and executing one circuit
 //!
@@ -47,8 +52,12 @@ pub mod config;
 pub mod error;
 pub mod exec;
 pub mod placement;
+pub mod runtime;
 pub mod schedule;
 pub mod tenant;
+pub mod workload;
 
-pub use error::PlacementError;
+pub use error::{ExecError, PlacementError};
 pub use exec::{simulate_job, Executor, JobResult};
+pub use runtime::{JobRecord, Orchestrator, RunReport};
+pub use workload::Workload;

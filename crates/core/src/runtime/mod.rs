@@ -1,0 +1,27 @@
+//! The unified cloud runtime: workload → admission → executor →
+//! metrics.
+//!
+//! One event-driven orchestration loop serves every execution mode of
+//! the paper — batch (§VI.D) and incoming jobs (§V.B) — plus the open
+//! scenarios the ROADMAP asks for (bursty traffic, trace replay),
+//! under pluggable admission policies:
+//!
+//! ```text
+//!  Workload (batch / poisson / bursty / trace)       crate::workload
+//!      │ arrivals
+//!      ▼
+//!  Orchestrator ── AdmissionPolicy (FCFS / backfill / priority)
+//!      │ placements (crate::placement)
+//!      ▼
+//!  Executor — shared EPR rounds, incremental front layer  crate::exec
+//!      │ completions
+//!      ▼
+//!  RunReport — per-job latency breakdown, throughput & utilization
+//!  time series                                       cloudqc_sim::series
+//! ```
+
+mod admission;
+mod orchestrator;
+
+pub use admission::AdmissionPolicy;
+pub use orchestrator::{JobRecord, Orchestrator, RunReport};

@@ -1,0 +1,550 @@
+//! The event-driven cloud runtime: one orchestration loop for every
+//! execution mode.
+//!
+//! The [`Orchestrator`] owns admission (an [`AdmissionPolicy`] over the
+//! waiting queue) and drives the shared [`Executor`]: jobs arrive per
+//! the [`Workload`], queue until the placement algorithm finds room,
+//! execute concurrently while competing for communication qubits, and
+//! release their computing qubits on completion (which re-opens
+//! admission). Batch mode (§VI.D) and the incoming-job mode (§V.B) are
+//! the same loop with different workloads; `run_multi_tenant` /
+//! `run_incoming` in [`crate::tenant`] are thin wrappers kept for the
+//! experiment binaries.
+//!
+//! Jobs whose placement can never execute (a remote gate over a QPU
+//! with no communication qubits) are *rejected* — reported in
+//! [`RunReport::rejected`] — instead of aborting the run.
+
+use crate::error::{ExecError, PlacementError};
+use crate::exec::Executor;
+use crate::placement::PlacementAlgorithm;
+use crate::runtime::AdmissionPolicy;
+use crate::schedule::Scheduler;
+use crate::workload::Workload;
+use cloudqc_cloud::{Cloud, CloudStatus};
+use cloudqc_sim::series::{LatencyBreakdown, MeanBreakdown, TimeSeries};
+use cloudqc_sim::Tick;
+
+/// Per-job outcome of a runtime run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobRecord {
+    /// Index of the job in the workload.
+    pub job: usize,
+    /// When the job arrived.
+    pub arrived_at: Tick,
+    /// When the job was admitted (placement succeeded).
+    pub admitted_at: Tick,
+    /// When the job finished.
+    pub finished_at: Tick,
+    /// Completion time from arrival (includes queueing delay).
+    pub completion_time: Tick,
+    /// Remote gates induced by the chosen placement.
+    pub remote_gates: usize,
+    /// EPR generation rounds spent across all remote gates.
+    pub epr_rounds: u64,
+    /// Computing qubits the job occupied while running.
+    pub qubits: usize,
+    /// Where the completion time went: queueing vs. EPR wait vs.
+    /// compute.
+    pub breakdown: LatencyBreakdown,
+}
+
+/// Result of one workload run through the runtime.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunReport {
+    /// One record per completed job, in workload order (rejected jobs
+    /// are absent).
+    pub outcomes: Vec<JobRecord>,
+    /// Jobs whose placement could never execute, with the reason.
+    pub rejected: Vec<(usize, ExecError)>,
+    /// Time the last job finished.
+    pub makespan: Tick,
+    /// Free computing qubits per QPU after the run (resource
+    /// conservation: equals capacity when every job released).
+    pub final_free_computing: Vec<usize>,
+    /// Free communication qubits per QPU after the run.
+    pub final_free_communication: Vec<usize>,
+}
+
+impl RunReport {
+    /// Completion times (from each job's arrival), in workload order.
+    pub fn completion_times(&self) -> Vec<Tick> {
+        self.outcomes.iter().map(|o| o.completion_time).collect()
+    }
+
+    /// Mean job completion time in ticks (0 for an empty run).
+    pub fn mean_completion_time(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes
+            .iter()
+            .map(|o| o.completion_time.as_ticks() as f64)
+            .sum::<f64>()
+            / self.outcomes.len() as f64
+    }
+
+    /// Component-wise mean latency breakdown (`None` for an empty run).
+    pub fn mean_breakdown(&self) -> Option<MeanBreakdown> {
+        let all: Vec<LatencyBreakdown> = self.outcomes.iter().map(|o| o.breakdown).collect();
+        LatencyBreakdown::mean_of(&all)
+    }
+
+    /// Computing-qubit utilization over the run: qubit-ticks actually
+    /// held by jobs divided by capacity × makespan (the paper's Eq. 2
+    /// resource-efficiency view). `0.0` for an empty run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_computing_capacity == 0`.
+    pub fn utilization(&self, total_computing_capacity: usize) -> f64 {
+        assert!(total_computing_capacity > 0, "capacity must be positive");
+        if self.outcomes.is_empty() || self.makespan == Tick::ZERO {
+            return 0.0;
+        }
+        let held: f64 = self
+            .outcomes
+            .iter()
+            .map(|o| o.qubits as f64 * (o.finished_at - o.admitted_at) as f64)
+            .sum();
+        held / (total_computing_capacity as f64 * self.makespan.as_ticks() as f64)
+    }
+
+    /// Completed jobs per bucket of `bucket_width` ticks (a throughput
+    /// curve over the run).
+    pub fn throughput(&self, bucket_width: u64) -> TimeSeries {
+        let mut ts = TimeSeries::new(bucket_width);
+        for o in &self.outcomes {
+            ts.add(o.finished_at, 1.0);
+        }
+        ts
+    }
+
+    /// Computing-qubit utilization per bucket of `bucket_width` ticks,
+    /// as a fraction of `total_computing_capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_computing_capacity == 0`.
+    pub fn utilization_series(
+        &self,
+        total_computing_capacity: usize,
+        bucket_width: u64,
+    ) -> TimeSeries {
+        assert!(total_computing_capacity > 0, "capacity must be positive");
+        let mut ts = TimeSeries::new(bucket_width);
+        for o in &self.outcomes {
+            ts.add_interval(o.admitted_at, o.finished_at, o.qubits as f64);
+        }
+        ts.scaled(1.0 / (total_computing_capacity as f64 * bucket_width as f64))
+    }
+}
+
+/// The unified cloud runtime: admission + placement + shared execution
+/// over one workload.
+///
+/// # Example
+///
+/// ```
+/// use cloudqc_circuit::generators::catalog;
+/// use cloudqc_cloud::CloudBuilder;
+/// use cloudqc_core::placement::CloudQcPlacement;
+/// use cloudqc_core::runtime::{AdmissionPolicy, Orchestrator};
+/// use cloudqc_core::schedule::CloudQcScheduler;
+/// use cloudqc_core::workload::Workload;
+///
+/// let cloud = CloudBuilder::paper_default(1).build();
+/// let placement = CloudQcPlacement::default();
+/// let pool = vec![
+///     catalog::by_name("vqe_n4").unwrap(),
+///     catalog::by_name("qft_n29").unwrap(),
+/// ];
+/// let workload = Workload::poisson(&pool, 4, 10_000.0, 7);
+/// let report = Orchestrator::new(&cloud, &placement, &CloudQcScheduler, 7)
+///     .with_admission(AdmissionPolicy::Backfill)
+///     .run(&workload)
+///     .unwrap();
+/// assert_eq!(report.outcomes.len(), 4);
+/// ```
+pub struct Orchestrator<'a> {
+    cloud: &'a Cloud,
+    placement: &'a dyn PlacementAlgorithm,
+    scheduler: &'a dyn Scheduler,
+    admission: AdmissionPolicy,
+    path_reservation: bool,
+    seed: u64,
+}
+
+impl<'a> Orchestrator<'a> {
+    /// A runtime over one cloud, placement algorithm and network
+    /// scheduler, with the default (priority-aware backfill) admission.
+    pub fn new(
+        cloud: &'a Cloud,
+        placement: &'a dyn PlacementAlgorithm,
+        scheduler: &'a dyn Scheduler,
+        seed: u64,
+    ) -> Self {
+        Orchestrator {
+            cloud,
+            placement,
+            scheduler,
+            admission: AdmissionPolicy::default(),
+            path_reservation: false,
+            seed,
+        }
+    }
+
+    /// Selects the admission policy.
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Enables executor path reservation (swapping-station holds, see
+    /// [`Executor::with_path_reservation`]).
+    pub fn with_path_reservation(mut self, enabled: bool) -> Self {
+        self.path_reservation = enabled;
+        self
+    }
+
+    /// Runs the workload to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError`] if some job can never be placed even on an
+    /// idle cloud (it would otherwise wait forever). Jobs whose
+    /// *placement* succeeds but can never *execute* (communication
+    /// starvation) are rejected, not errors.
+    pub fn run(&self, workload: &Workload) -> Result<RunReport, PlacementError> {
+        let jobs = workload.jobs();
+        let n = jobs.len();
+        // Arrival order (stable on ties: workload index).
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| jobs[i].arrival);
+        let circuits: Vec<&cloudqc_circuit::Circuit> = jobs.iter().map(|j| &j.circuit).collect();
+        let metrics = self.admission.metrics(circuits.iter().copied());
+
+        let mut status = self.cloud.status();
+        let mut exec = Executor::new(self.cloud, self.scheduler, self.seed)
+            .with_path_reservation(self.path_reservation);
+        let mut waiting: Vec<usize> = Vec::new();
+        // exec job id -> (workload index, demand vector)
+        let mut admitted: Vec<(usize, Vec<usize>)> = Vec::new();
+        let mut outcomes: Vec<Option<JobRecord>> = vec![None; n];
+        let mut rejected: Vec<(usize, ExecError)> = Vec::new();
+        let mut next_arrival = 0usize;
+
+        let record = |exec: &Executor,
+                      admitted: &[(usize, Vec<usize>)],
+                      status: &mut CloudStatus,
+                      outcomes: &mut Vec<Option<JobRecord>>,
+                      finished: Vec<usize>| {
+            for exec_id in finished {
+                let (job_idx, demand) = &admitted[exec_id];
+                status.release_all_computing(demand);
+                let result = exec.job_result(exec_id).expect("job finished");
+                let arrived = jobs[*job_idx].arrival;
+                let queueing = result.started_at - arrived;
+                let service = result.finished_at - result.started_at;
+                outcomes[*job_idx] = Some(JobRecord {
+                    job: *job_idx,
+                    arrived_at: arrived,
+                    admitted_at: result.started_at,
+                    finished_at: result.finished_at,
+                    completion_time: Tick::new(result.finished_at - arrived),
+                    remote_gates: result.remote_gates,
+                    epr_rounds: result.epr_rounds,
+                    qubits: demand.iter().sum(),
+                    breakdown: LatencyBreakdown::new(
+                        queueing,
+                        result.epr_wait,
+                        service - result.epr_wait,
+                    ),
+                });
+            }
+        };
+
+        loop {
+            // Admit every waiting job the policy and resources allow.
+            let mut i = 0;
+            while i < waiting.len() {
+                let job_idx = waiting[i];
+                match self.placement.place(
+                    circuits[job_idx],
+                    self.cloud,
+                    &status,
+                    self.seed ^ (job_idx as u64) << 17,
+                ) {
+                    Ok(p) => {
+                        let demand = p.qpu_demand(self.cloud.qpu_count());
+                        match exec.try_add_job(circuits[job_idx], &p) {
+                            Ok(exec_id) => {
+                                status
+                                    .allocate_all_computing(&demand)
+                                    .expect("placement.fits was checked by the algorithm");
+                                debug_assert_eq!(exec_id, admitted.len());
+                                admitted.push((job_idx, demand));
+                                waiting.remove(i);
+                            }
+                            Err(e) => {
+                                // The placement can never execute:
+                                // reject the job, keep the run going.
+                                rejected.push((job_idx, e));
+                                waiting.remove(i);
+                            }
+                        }
+                    }
+                    Err(PlacementError::InsufficientCapacity { required, .. })
+                        if required > self.cloud.total_computing_capacity() =>
+                    {
+                        // Impossible even on an idle cloud: fail the run.
+                        return Err(PlacementError::InsufficientCapacity {
+                            required,
+                            available: self.cloud.total_computing_capacity(),
+                        });
+                    }
+                    Err(_) => {
+                        // Cannot fit now: wait. Under FCFS the head
+                        // blocks the queue; otherwise later jobs may
+                        // backfill.
+                        if self.admission.head_of_line_blocks() {
+                            break;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+
+            // Advance: to the next arrival if one is pending, else to
+            // the next completion.
+            if next_arrival < order.len() {
+                let arrival_time = jobs[order[next_arrival]].arrival;
+                let finished = exec.run_until(arrival_time);
+                record(&exec, &admitted, &mut status, &mut outcomes, finished);
+                // Enqueue every job arriving at this instant.
+                while next_arrival < order.len()
+                    && jobs[order[next_arrival]].arrival <= arrival_time
+                {
+                    self.admission
+                        .enqueue(&mut waiting, order[next_arrival], metrics.as_deref());
+                    next_arrival += 1;
+                }
+            } else if exec.unfinished_jobs() > 0 {
+                let finished = exec.run_until_next_completion();
+                if finished.is_empty() && !waiting.is_empty() {
+                    return Err(PlacementError::NoFeasiblePlacement);
+                }
+                record(&exec, &admitted, &mut status, &mut outcomes, finished);
+            } else {
+                // Gate-less circuits finish inside try_add_job without
+                // raising unfinished_jobs; drain them before deciding
+                // the run is over (run_until_next_completion returns
+                // the buffered completions without stepping).
+                let finished = exec.run_until_next_completion();
+                if !finished.is_empty() {
+                    record(&exec, &admitted, &mut status, &mut outcomes, finished);
+                } else if waiting.is_empty() {
+                    break;
+                } else {
+                    // Idle executor, no arrivals left, jobs still
+                    // waiting: they must fit the (fully free) cloud or
+                    // never will.
+                    return Err(PlacementError::NoFeasiblePlacement);
+                }
+            }
+        }
+
+        let outcomes: Vec<JobRecord> = outcomes.into_iter().flatten().collect();
+        debug_assert_eq!(outcomes.len() + rejected.len(), n, "every job accounted");
+        let makespan = outcomes
+            .iter()
+            .map(|o| o.finished_at)
+            .max()
+            .unwrap_or(Tick::ZERO);
+        let final_free_computing: Vec<usize> = (0..self.cloud.qpu_count())
+            .map(|i| status.free_computing(cloudqc_cloud::QpuId::new(i)))
+            .collect();
+        Ok(RunReport {
+            outcomes,
+            rejected,
+            makespan,
+            final_free_computing,
+            final_free_communication: exec.comm_free().to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::CloudQcPlacement;
+    use crate::schedule::CloudQcScheduler;
+    use cloudqc_circuit::generators::catalog;
+    use cloudqc_cloud::CloudBuilder;
+
+    fn pool() -> Vec<cloudqc_circuit::Circuit> {
+        vec![
+            catalog::by_name("qugan_n39").unwrap(),
+            catalog::by_name("qft_n29").unwrap(),
+            catalog::by_name("ghz_n40").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn batch_and_open_arrival_share_the_loop() {
+        let cloud = CloudBuilder::paper_default(2).build();
+        let placement = CloudQcPlacement::default();
+        let orch = Orchestrator::new(&cloud, &placement, &CloudQcScheduler, 3);
+        let batch = orch.run(&Workload::batch(pool())).unwrap();
+        assert_eq!(batch.outcomes.len(), 3);
+        assert!(batch.rejected.is_empty());
+        let open = orch
+            .run(&Workload::poisson(&pool(), 3, 5_000.0, 3))
+            .unwrap();
+        assert_eq!(open.outcomes.len(), 3);
+        for o in &open.outcomes {
+            assert!(o.admitted_at >= o.arrived_at);
+            assert_eq!(
+                o.breakdown.total(),
+                o.completion_time.as_ticks(),
+                "breakdown decomposes the completion time"
+            );
+        }
+    }
+
+    #[test]
+    fn resources_are_conserved() {
+        let cloud = CloudBuilder::paper_default(5).build();
+        let placement = CloudQcPlacement::default();
+        let report = Orchestrator::new(&cloud, &placement, &CloudQcScheduler, 9)
+            .run(&Workload::batch(pool()))
+            .unwrap();
+        for i in 0..cloud.qpu_count() {
+            let qpu = cloud.qpu(cloudqc_cloud::QpuId::new(i));
+            assert_eq!(report.final_free_computing[i], qpu.computing_qubits());
+            assert_eq!(
+                report.final_free_communication[i],
+                qpu.communication_qubits()
+            );
+        }
+    }
+
+    #[test]
+    fn fcfs_blocks_backfill_admits() {
+        // A big head job that cannot fit while a small one could.
+        let cloud = CloudBuilder::new(3)
+            .computing_qubits(10)
+            .line_topology()
+            .build();
+        let jobs = vec![
+            catalog::by_name("ghz_n25").unwrap(), // fits alone
+            catalog::by_name("ghz_n25").unwrap(), // must wait
+            catalog::by_name("vqe_n4").unwrap(),  // could backfill
+        ];
+        let placement = CloudQcPlacement::default();
+        let fcfs = Orchestrator::new(&cloud, &placement, &CloudQcScheduler, 1)
+            .with_admission(AdmissionPolicy::Fcfs)
+            .run(&Workload::batch(jobs.clone()))
+            .unwrap();
+        let backfill = Orchestrator::new(&cloud, &placement, &CloudQcScheduler, 1)
+            .with_admission(AdmissionPolicy::Backfill)
+            .run(&Workload::batch(jobs))
+            .unwrap();
+        // Under FCFS the tiny job waits behind the second big one.
+        assert!(fcfs.outcomes[2].admitted_at >= fcfs.outcomes[1].admitted_at);
+        // With backfill it starts immediately.
+        assert_eq!(backfill.outcomes[2].admitted_at, Tick::ZERO);
+    }
+
+    #[test]
+    fn communication_starved_jobs_are_rejected_not_fatal() {
+        // QPUs with zero communication qubits: any distributed job is
+        // impossible, but single-QPU jobs still run.
+        let cloud = CloudBuilder::new(2)
+            .computing_qubits(20)
+            .communication_qubits(0)
+            .line_topology()
+            .build();
+        let jobs = vec![
+            catalog::by_name("vqe_n4").unwrap(),  // fits one QPU
+            catalog::by_name("ghz_n30").unwrap(), // must span both
+            catalog::by_name("qft_n13").unwrap(), // fits one QPU
+        ];
+        let placement = CloudQcPlacement::default();
+        let report = Orchestrator::new(&cloud, &placement, &CloudQcScheduler, 5)
+            .run(&Workload::batch(jobs))
+            .unwrap();
+        assert_eq!(report.outcomes.len(), 2);
+        assert_eq!(report.rejected.len(), 1);
+        let (job, err) = &report.rejected[0];
+        assert_eq!(*job, 1);
+        assert!(matches!(err, ExecError::NoCommQubits { .. }));
+        // The completed jobs are the single-QPU ones.
+        let done: Vec<usize> = report.outcomes.iter().map(|o| o.job).collect();
+        assert_eq!(done, vec![0, 2]);
+    }
+
+    #[test]
+    fn report_series_are_consistent() {
+        let cloud = CloudBuilder::paper_default(8).build();
+        let placement = CloudQcPlacement::default();
+        let report = Orchestrator::new(&cloud, &placement, &CloudQcScheduler, 11)
+            .run(&Workload::poisson(&pool(), 6, 2_000.0, 11))
+            .unwrap();
+        let tp = report.throughput(1_000);
+        assert_eq!(
+            tp.buckets().iter().sum::<f64>() as usize,
+            report.outcomes.len(),
+            "every completion lands in some bucket"
+        );
+        let util = report.utilization_series(cloud.total_computing_capacity(), 1_000);
+        assert!(util
+            .buckets()
+            .iter()
+            .all(|&u| (0.0..=1.0 + 1e-9).contains(&u)));
+        let mean = report.mean_breakdown().unwrap();
+        assert!(mean.total() > 0.0);
+        assert!((report.mean_completion_time() - mean.total()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gate_less_circuits_are_recorded_and_release_resources() {
+        // A gate-less circuit finishes inside try_add_job, before the
+        // executor ever steps; the orchestrator must still record it
+        // and release its computing qubits — including when it is the
+        // only (or last) job of the run.
+        let cloud = CloudBuilder::new(2)
+            .computing_qubits(8)
+            .line_topology()
+            .build();
+        let placement = CloudQcPlacement::default();
+        for workload in [
+            Workload::batch(vec![cloudqc_circuit::Circuit::new(3)]),
+            Workload::trace(vec![
+                (catalog::by_name("vqe_n4").unwrap(), Tick::ZERO),
+                (cloudqc_circuit::Circuit::new(3), Tick::new(50_000)),
+            ]),
+        ] {
+            let report = Orchestrator::new(&cloud, &placement, &CloudQcScheduler, 1)
+                .run(&workload)
+                .unwrap();
+            assert_eq!(report.outcomes.len(), workload.len());
+            let empty = report.outcomes.last().unwrap();
+            assert_eq!(empty.finished_at, empty.admitted_at);
+            assert_eq!(report.final_free_computing, vec![8, 8]);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cloud = CloudBuilder::paper_default(13).build();
+        let placement = CloudQcPlacement::default();
+        let w = Workload::bursty(&pool(), 2, 2, 8_000.0, 5);
+        let run = |seed| {
+            Orchestrator::new(&cloud, &placement, &CloudQcScheduler, seed)
+                .run(&w)
+                .unwrap()
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

@@ -1,23 +1,27 @@
-//! The multi-tenant orchestrator (paper §VI.D).
+//! The multi-tenant entry points (paper §VI.D / §V.B), as thin
+//! wrappers over the unified runtime.
 //!
-//! A batch of circuits arrives at `t = 0`. The batch manager orders
-//! them; the placement algorithm admits every job the current resources
-//! allow (jobs that do not fit wait — later jobs may backfill); admitted
-//! jobs execute *concurrently* on the shared executor, competing for
-//! communication qubits; when a job finishes, its computing qubits are
+//! Both execution modes run the same orchestration loop
+//! ([`crate::runtime::Orchestrator`]): jobs arrive (all at `t = 0` in
+//! batch mode), queue until the placement algorithm admits them, and
+//! execute concurrently on the shared executor, competing for
+//! communication qubits. When a job finishes, its computing qubits are
 //! released and the queue is re-scanned.
 //!
 //! Job completion time (the metric of Figs. 14–17) is measured from
-//! batch arrival, so it includes queueing delay.
+//! each job's arrival, so it includes queueing delay.
 
-use crate::batch::{order_jobs, OrderingPolicy};
+use crate::batch::OrderingPolicy;
 use crate::error::PlacementError;
-use crate::exec::Executor;
 use crate::placement::PlacementAlgorithm;
+use crate::runtime::{AdmissionPolicy, JobRecord, Orchestrator, RunReport};
 use crate::schedule::Scheduler;
+use crate::workload::Workload;
 use cloudqc_circuit::Circuit;
 use cloudqc_cloud::Cloud;
 use cloudqc_sim::Tick;
+
+pub use crate::workload::poisson_arrivals;
 
 /// Per-job outcome of a multi-tenant run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -36,6 +40,20 @@ pub struct TenantOutcome {
     pub remote_gates: usize,
     /// Computing qubits the job occupied while running.
     pub qubits: usize,
+}
+
+impl From<&JobRecord> for TenantOutcome {
+    fn from(r: &JobRecord) -> Self {
+        TenantOutcome {
+            job: r.job,
+            arrived_at: r.arrived_at,
+            admitted_at: r.admitted_at,
+            finished_at: r.finished_at,
+            completion_time: r.completion_time,
+            remote_gates: r.remote_gates,
+            qubits: r.qubits,
+        }
+    }
 }
 
 /// Result of a whole batch.
@@ -89,12 +107,39 @@ impl MultiTenantRun {
     }
 }
 
+/// Converts a runtime report into the legacy batch result shape.
+///
+/// # Panics
+///
+/// Panics if the runtime rejected a job (the legacy entry points
+/// promise every submitted job completes, as their executor-level
+/// predecessors did).
+fn into_multi_tenant(report: RunReport) -> MultiTenantRun {
+    if let Some((job, err)) = report.rejected.first() {
+        panic!("job {job}: {err}");
+    }
+    MultiTenantRun {
+        outcomes: report.outcomes.iter().map(TenantOutcome::from).collect(),
+        makespan: report.makespan,
+    }
+}
+
 /// Runs one batch of circuits through the full CloudQC pipeline.
+///
+/// Thin wrapper over the runtime: batch workload (everything arrives
+/// at `t = 0`) with priority-aware ([`OrderingPolicy::Metric`], the
+/// Eq. 11 batch manager) or FIFO-with-backfill admission.
 ///
 /// # Errors
 ///
 /// [`PlacementError`] if some job can never be placed even on an idle
 /// cloud (it would otherwise wait forever).
+///
+/// # Panics
+///
+/// Panics if a job's placement can never execute (communication
+/// starvation); use [`Orchestrator`] directly to reject such jobs
+/// gracefully.
 ///
 /// # Example
 ///
@@ -129,102 +174,23 @@ pub fn run_multi_tenant(
     ordering: OrderingPolicy,
     seed: u64,
 ) -> Result<MultiTenantRun, PlacementError> {
-    let order = order_jobs(circuits, ordering);
-    let mut waiting: Vec<usize> = order; // batch indices, in processing order
-    let mut status = cloud.status();
-    let mut exec = Executor::new(cloud, scheduler, seed);
-
-    // exec job id -> (batch index, demand vector)
-    let mut admitted: Vec<(usize, Vec<usize>)> = Vec::new();
-    let mut outcomes: Vec<Option<TenantOutcome>> = vec![None; circuits.len()];
-
-    // Admits every waiting job the current resources allow (in order,
-    // with backfill). Returns how many were admitted.
-    let admit = |waiting: &mut Vec<usize>,
-                 status: &mut cloudqc_cloud::CloudStatus,
-                 exec: &mut Executor,
-                 admitted: &mut Vec<(usize, Vec<usize>)>|
-     -> Result<usize, PlacementError> {
-        let mut n_admitted = 0;
-        let mut i = 0;
-        while i < waiting.len() {
-            let batch_idx = waiting[i];
-            let circuit = &circuits[batch_idx];
-            match placement.place(circuit, cloud, status, seed ^ (batch_idx as u64) << 17) {
-                Ok(p) => {
-                    let demand = p.qpu_demand(cloud.qpu_count());
-                    status
-                        .allocate_all_computing(&demand)
-                        .expect("placement.fits was checked by the algorithm");
-                    let exec_id = exec.add_job(circuit, &p);
-                    debug_assert_eq!(exec_id, admitted.len());
-                    admitted.push((batch_idx, demand));
-                    waiting.remove(i);
-                    n_admitted += 1;
-                }
-                Err(PlacementError::InsufficientCapacity { required, .. })
-                    if required > cloud.total_computing_capacity() =>
-                {
-                    // Impossible even on an idle cloud: fail the batch.
-                    return Err(PlacementError::InsufficientCapacity {
-                        required,
-                        available: cloud.total_computing_capacity(),
-                    });
-                }
-                Err(_) => {
-                    i += 1; // cannot fit now: wait, let later jobs backfill
-                }
-            }
-        }
-        Ok(n_admitted)
+    let admission = match ordering {
+        OrderingPolicy::Metric(weights) => AdmissionPolicy::PriorityBackfill(weights),
+        OrderingPolicy::Fifo => AdmissionPolicy::Backfill,
     };
-
-    admit(&mut waiting, &mut status, &mut exec, &mut admitted)?;
-
-    while exec.unfinished_jobs() > 0 || !waiting.is_empty() {
-        let finished = exec.run_until_next_completion();
-        if finished.is_empty() {
-            // Executor idle but jobs still wait: they must be placeable
-            // on the (now fully free) cloud or the batch cannot finish.
-            if !waiting.is_empty() {
-                return Err(PlacementError::NoFeasiblePlacement);
-            }
-            break;
-        }
-        for exec_id in finished {
-            let (batch_idx, demand) = &admitted[exec_id];
-            status.release_all_computing(demand);
-            let result = exec.job_result(exec_id).expect("job finished");
-            outcomes[*batch_idx] = Some(TenantOutcome {
-                job: *batch_idx,
-                arrived_at: Tick::ZERO,
-                admitted_at: result.started_at,
-                finished_at: result.finished_at,
-                completion_time: Tick::new(result.finished_at.as_ticks()),
-                remote_gates: result.remote_gates,
-                qubits: demand.iter().sum(),
-            });
-        }
-        admit(&mut waiting, &mut status, &mut exec, &mut admitted)?;
-    }
-
-    let outcomes: Vec<TenantOutcome> = outcomes
-        .into_iter()
-        .map(|o| o.expect("every job completed"))
-        .collect();
-    let makespan = outcomes
-        .iter()
-        .map(|o| o.finished_at)
-        .max()
-        .unwrap_or(Tick::ZERO);
-    Ok(MultiTenantRun { outcomes, makespan })
+    let report = Orchestrator::new(cloud, placement, scheduler, seed)
+        .with_admission(admission)
+        .run(&Workload::batch(circuits.to_vec()))?;
+    Ok(into_multi_tenant(report))
 }
 
 /// Runs the *incoming job mode* (paper §V.B): jobs arrive one after
-/// another and are processed first-in-first-out. A job that does not
-/// fit waits; arrivals behind it may backfill once earlier completions
-/// free resources. Completion time is measured from each job's own
-/// arrival.
+/// another and are processed first-in-first-out with backfill. A job
+/// that does not fit waits; arrivals behind it may backfill once
+/// earlier completions free resources. Completion time is measured
+/// from each job's own arrival.
+///
+/// Thin wrapper over the runtime: trace workload + backfill admission.
 ///
 /// `jobs` pairs each circuit with its arrival time (any order; sorted
 /// internally).
@@ -233,6 +199,12 @@ pub fn run_multi_tenant(
 ///
 /// [`PlacementError`] if some job can never be placed even on an idle
 /// cloud.
+///
+/// # Panics
+///
+/// Panics if a job's placement can never execute (communication
+/// starvation); use [`Orchestrator`] directly to reject such jobs
+/// gracefully.
 ///
 /// # Example
 ///
@@ -261,133 +233,10 @@ pub fn run_incoming(
     scheduler: &dyn Scheduler,
     seed: u64,
 ) -> Result<MultiTenantRun, PlacementError> {
-    // FIFO by arrival time (stable on ties).
-    let mut order: Vec<usize> = (0..jobs.len()).collect();
-    order.sort_by_key(|&i| jobs[i].1);
-
-    let mut status = cloud.status();
-    let mut exec = Executor::new(cloud, scheduler, seed);
-    let mut waiting: Vec<usize> = Vec::new(); // arrived, unplaced (FIFO)
-    let mut admitted: Vec<(usize, Vec<usize>)> = Vec::new();
-    let mut outcomes: Vec<Option<TenantOutcome>> = vec![None; jobs.len()];
-    let mut next_arrival = 0usize;
-
-    let record = |exec: &Executor,
-                  admitted: &[(usize, Vec<usize>)],
-                  status: &mut cloudqc_cloud::CloudStatus,
-                  outcomes: &mut Vec<Option<TenantOutcome>>,
-                  finished: Vec<usize>| {
-        for exec_id in finished {
-            let (job_idx, demand) = &admitted[exec_id];
-            status.release_all_computing(demand);
-            let result = exec.job_result(exec_id).expect("job finished");
-            let arrived = jobs[*job_idx].1;
-            outcomes[*job_idx] = Some(TenantOutcome {
-                job: *job_idx,
-                arrived_at: arrived,
-                admitted_at: result.started_at,
-                finished_at: result.finished_at,
-                completion_time: Tick::new(result.finished_at - arrived),
-                remote_gates: result.remote_gates,
-                qubits: demand.iter().sum(),
-            });
-        }
-    };
-
-    loop {
-        // Admit every waiting job that fits, FIFO with backfill.
-        let mut i = 0;
-        while i < waiting.len() {
-            let job_idx = waiting[i];
-            match placement.place(
-                &jobs[job_idx].0,
-                cloud,
-                &status,
-                seed ^ (job_idx as u64) << 17,
-            ) {
-                Ok(p) => {
-                    let demand = p.qpu_demand(cloud.qpu_count());
-                    status
-                        .allocate_all_computing(&demand)
-                        .expect("algorithm checked fit");
-                    let exec_id = exec.add_job(&jobs[job_idx].0, &p);
-                    debug_assert_eq!(exec_id, admitted.len());
-                    admitted.push((job_idx, demand));
-                    waiting.remove(i);
-                }
-                Err(PlacementError::InsufficientCapacity { required, .. })
-                    if required > cloud.total_computing_capacity() =>
-                {
-                    return Err(PlacementError::InsufficientCapacity {
-                        required,
-                        available: cloud.total_computing_capacity(),
-                    });
-                }
-                Err(_) => i += 1,
-            }
-        }
-
-        // Advance: to the next arrival if one is pending, else to the
-        // next completion.
-        if next_arrival < order.len() {
-            let arrival_time = jobs[order[next_arrival]].1;
-            let finished = exec.run_until(arrival_time);
-            record(&exec, &admitted, &mut status, &mut outcomes, finished);
-            // Enqueue every job arriving at this instant.
-            while next_arrival < order.len() && jobs[order[next_arrival]].1 <= arrival_time {
-                waiting.push(order[next_arrival]);
-                next_arrival += 1;
-            }
-        } else if exec.unfinished_jobs() > 0 {
-            let finished = exec.run_until_next_completion();
-            if finished.is_empty() && !waiting.is_empty() {
-                return Err(PlacementError::NoFeasiblePlacement);
-            }
-            record(&exec, &admitted, &mut status, &mut outcomes, finished);
-        } else if waiting.is_empty() {
-            break;
-        } else {
-            // Idle executor, no arrivals left, jobs still waiting: they
-            // must fit the (fully free) cloud or never will.
-            return Err(PlacementError::NoFeasiblePlacement);
-        }
-    }
-
-    let outcomes: Vec<TenantOutcome> = outcomes
-        .into_iter()
-        .map(|o| o.expect("every job completed"))
-        .collect();
-    let makespan = outcomes
-        .iter()
-        .map(|o| o.finished_at)
-        .max()
-        .unwrap_or(Tick::ZERO);
-    Ok(MultiTenantRun { outcomes, makespan })
-}
-
-/// Samples `n` arrival times with exponentially distributed
-/// inter-arrival gaps of the given mean (in ticks) — a Poisson arrival
-/// process for incoming-job-mode experiments. Deterministic per seed.
-///
-/// # Panics
-///
-/// Panics if `mean_interarrival` is not positive and finite.
-pub fn poisson_arrivals(n: usize, mean_interarrival: f64, seed: u64) -> Vec<Tick> {
-    use rand::RngExt;
-    assert!(
-        mean_interarrival.is_finite() && mean_interarrival > 0.0,
-        "mean inter-arrival must be positive"
-    );
-    let mut rng = cloudqc_sim::SimRng::new(seed).fork("arrivals").into_std();
-    let mut t = 0.0f64;
-    (0..n)
-        .map(|_| {
-            // Inverse-transform sampling of Exp(1/mean).
-            let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
-            t += -mean_interarrival * u.ln();
-            Tick::new(t as u64)
-        })
-        .collect()
+    let report = Orchestrator::new(cloud, placement, scheduler, seed)
+        .with_admission(AdmissionPolicy::Backfill)
+        .run(&Workload::trace(jobs.iter().cloned()))?;
+    Ok(into_multi_tenant(report))
 }
 
 #[cfg(test)]

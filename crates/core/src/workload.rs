@@ -1,0 +1,284 @@
+//! Seed-deterministic workload generators for the runtime layer.
+//!
+//! A [`Workload`] is a list of circuits with arrival times — the input
+//! of the [`crate::runtime::Orchestrator`]. Generators cover the
+//! paper's batch mode (§VI.D: everything arrives at `t = 0`), the
+//! open-arrival incoming mode (§V.B: Poisson arrivals), bursty traffic,
+//! and replay of explicit traces. All stochastic generators draw from
+//! forked [`SimRng`] streams, so the same seed always produces the same
+//! workload.
+
+use cloudqc_circuit::Circuit;
+use cloudqc_sim::{SimRng, Tick};
+use rand::RngExt;
+
+/// One job of a workload: a circuit and its arrival time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadJob {
+    /// The circuit to place and execute.
+    pub circuit: Circuit,
+    /// When the job arrives at the cloud.
+    pub arrival: Tick,
+}
+
+/// A set of jobs with arrival times, in submission order.
+///
+/// Job indices into the workload are stable: the orchestrator reports
+/// outcomes under the same indices.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Workload {
+    jobs: Vec<WorkloadJob>,
+}
+
+impl Workload {
+    /// Batch mode: every circuit arrives at `t = 0` (paper §VI.D).
+    pub fn batch(circuits: impl IntoIterator<Item = Circuit>) -> Self {
+        Workload {
+            jobs: circuits
+                .into_iter()
+                .map(|circuit| WorkloadJob {
+                    circuit,
+                    arrival: Tick::ZERO,
+                })
+                .collect(),
+        }
+    }
+
+    /// Replays an explicit trace of `(circuit, arrival)` pairs, e.g.
+    /// recorded from a production queue. Any order; the orchestrator
+    /// sorts by arrival internally.
+    pub fn trace(jobs: impl IntoIterator<Item = (Circuit, Tick)>) -> Self {
+        Workload {
+            jobs: jobs
+                .into_iter()
+                .map(|(circuit, arrival)| WorkloadJob { circuit, arrival })
+                .collect(),
+        }
+    }
+
+    /// Open arrivals: `n` jobs drawn round-robin from `pool`, with
+    /// exponentially distributed inter-arrival gaps of mean
+    /// `mean_interarrival` ticks — a Poisson arrival process
+    /// (deterministic per seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool` is empty (with `n > 0`) or the mean is not
+    /// positive and finite.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cloudqc_circuit::generators::catalog;
+    /// use cloudqc_core::workload::Workload;
+    ///
+    /// let pool = vec![catalog::by_name("vqe_n4").unwrap()];
+    /// let w = Workload::poisson(&pool, 5, 1_000.0, 7);
+    /// assert_eq!(w.len(), 5);
+    /// assert_eq!(w, Workload::poisson(&pool, 5, 1_000.0, 7));
+    /// ```
+    pub fn poisson(pool: &[Circuit], n: usize, mean_interarrival: f64, seed: u64) -> Self {
+        let arrivals = poisson_arrivals(n, mean_interarrival, seed);
+        assert!(n == 0 || !pool.is_empty(), "circuit pool must be non-empty");
+        Workload {
+            jobs: arrivals
+                .into_iter()
+                .enumerate()
+                .map(|(i, arrival)| WorkloadJob {
+                    circuit: pool[i % pool.len()].clone(),
+                    arrival,
+                })
+                .collect(),
+        }
+    }
+
+    /// Bursty traffic: `bursts` waves of `jobs_per_burst` simultaneous
+    /// arrivals (circuits drawn round-robin from `pool`), with
+    /// exponentially distributed gaps of mean `mean_burst_gap` ticks
+    /// between waves — the flash-crowd pattern batch admission must
+    /// absorb. Deterministic per seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool` is empty (with work requested) or the gap mean
+    /// is not positive and finite.
+    pub fn bursty(
+        pool: &[Circuit],
+        bursts: usize,
+        jobs_per_burst: usize,
+        mean_burst_gap: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            bursts * jobs_per_burst == 0 || !pool.is_empty(),
+            "circuit pool must be non-empty"
+        );
+        assert!(
+            mean_burst_gap.is_finite() && mean_burst_gap > 0.0,
+            "mean burst gap must be positive"
+        );
+        let mut rng = SimRng::new(seed).fork("bursts").into_std();
+        let mut t = 0.0f64;
+        let mut jobs = Vec::with_capacity(bursts * jobs_per_burst);
+        for burst in 0..bursts {
+            if burst > 0 {
+                let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+                t += -mean_burst_gap * u.ln();
+            }
+            for j in 0..jobs_per_burst {
+                let i = burst * jobs_per_burst + j;
+                jobs.push(WorkloadJob {
+                    circuit: pool[i % pool.len()].clone(),
+                    arrival: Tick::new(t as u64),
+                });
+            }
+        }
+        Workload { jobs }
+    }
+
+    /// The jobs, in submission order.
+    pub fn jobs(&self) -> &[WorkloadJob] {
+        &self.jobs
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the workload has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Total computing-qubit demand across all jobs.
+    pub fn total_qubits(&self) -> usize {
+        self.jobs.iter().map(|j| j.circuit.num_qubits()).sum()
+    }
+
+    /// The latest arrival time (`Tick::ZERO` when empty).
+    pub fn last_arrival(&self) -> Tick {
+        self.jobs
+            .iter()
+            .map(|j| j.arrival)
+            .max()
+            .unwrap_or(Tick::ZERO)
+    }
+}
+
+/// Samples `n` arrival times with exponentially distributed
+/// inter-arrival gaps of the given mean (in ticks) — a Poisson arrival
+/// process for incoming-job-mode experiments. Deterministic per seed.
+///
+/// # Panics
+///
+/// Panics if `mean_interarrival` is not positive and finite.
+pub fn poisson_arrivals(n: usize, mean_interarrival: f64, seed: u64) -> Vec<Tick> {
+    assert!(
+        mean_interarrival.is_finite() && mean_interarrival > 0.0,
+        "mean inter-arrival must be positive"
+    );
+    let mut rng = SimRng::new(seed).fork("arrivals").into_std();
+    let mut t = 0.0f64;
+    (0..n)
+        .map(|_| {
+            // Inverse-transform sampling of Exp(1/mean).
+            let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+            t += -mean_interarrival * u.ln();
+            Tick::new(t as u64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudqc_circuit::generators::catalog;
+
+    fn pool() -> Vec<Circuit> {
+        vec![
+            catalog::by_name("vqe_n4").unwrap(),
+            catalog::by_name("qft_n13").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn batch_arrives_at_zero() {
+        let w = Workload::batch(pool());
+        assert_eq!(w.len(), 2);
+        assert!(w.jobs().iter().all(|j| j.arrival == Tick::ZERO));
+        assert_eq!(w.last_arrival(), Tick::ZERO);
+        assert_eq!(w.total_qubits(), 4 + 13);
+    }
+
+    #[test]
+    fn trace_replays_pairs() {
+        let p = pool();
+        let w = Workload::trace(vec![
+            (p[0].clone(), Tick::new(500)),
+            (p[1].clone(), Tick::new(100)),
+        ]);
+        assert_eq!(w.jobs()[0].arrival, Tick::new(500));
+        assert_eq!(w.jobs()[1].arrival, Tick::new(100));
+        assert_eq!(w.last_arrival(), Tick::new(500));
+    }
+
+    #[test]
+    fn poisson_is_deterministic_and_sorted() {
+        let p = pool();
+        let a = Workload::poisson(&p, 20, 300.0, 11);
+        let b = Workload::poisson(&p, 20, 300.0, 11);
+        assert_eq!(a, b);
+        for pair in a.jobs().windows(2) {
+            assert!(pair[0].arrival <= pair[1].arrival);
+        }
+        // Round-robin circuit assignment.
+        assert_eq!(a.jobs()[0].circuit.num_qubits(), 4);
+        assert_eq!(a.jobs()[1].circuit.num_qubits(), 13);
+        assert_eq!(a.jobs()[2].circuit.num_qubits(), 4);
+    }
+
+    #[test]
+    fn poisson_matches_legacy_arrival_stream() {
+        // Workload::poisson must replay the exact arrival process of
+        // the standalone sampler, so experiments keep their numbers.
+        let p = pool();
+        let w = Workload::poisson(&p, 8, 1_000.0, 3);
+        let direct = poisson_arrivals(8, 1_000.0, 3);
+        let from_workload: Vec<Tick> = w.jobs().iter().map(|j| j.arrival).collect();
+        assert_eq!(from_workload, direct);
+    }
+
+    #[test]
+    fn bursty_clusters_arrivals() {
+        let p = pool();
+        let w = Workload::bursty(&p, 3, 4, 5_000.0, 7);
+        assert_eq!(w.len(), 12);
+        // Jobs within one burst share an arrival instant.
+        for burst in 0..3 {
+            let t0 = w.jobs()[burst * 4].arrival;
+            for j in 0..4 {
+                assert_eq!(w.jobs()[burst * 4 + j].arrival, t0);
+            }
+        }
+        // Bursts are strictly ordered (gap sampling can't collide for
+        // this seed).
+        assert!(w.jobs()[0].arrival < w.jobs()[4].arrival);
+        assert!(w.jobs()[4].arrival < w.jobs()[8].arrival);
+        assert_eq!(w, Workload::bursty(&p, 3, 4, 5_000.0, 7));
+    }
+
+    #[test]
+    fn empty_workloads() {
+        let w = Workload::batch(Vec::<Circuit>::new());
+        assert!(w.is_empty());
+        assert_eq!(Workload::poisson(&[], 0, 100.0, 0).len(), 0);
+        assert_eq!(Workload::bursty(&[], 0, 5, 100.0, 0).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool must be non-empty")]
+    fn poisson_rejects_empty_pool() {
+        Workload::poisson(&[], 3, 100.0, 0);
+    }
+}

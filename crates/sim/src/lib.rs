@@ -14,6 +14,9 @@
 //!   component gets its own independent, reproducible stream.
 //! * [`metrics`] — summary statistics and CDFs for job-completion-time
 //!   reporting (Figs. 10–21 of the paper).
+//! * [`series`] — per-job latency breakdowns (queueing / EPR-wait /
+//!   compute) and bucketed throughput & utilization time series for the
+//!   runtime layer's reporting.
 //!
 //! # Example
 //!
@@ -36,8 +39,10 @@ pub mod engine;
 pub mod metrics;
 pub mod queue;
 pub mod rng;
+pub mod series;
 pub mod time;
 
 pub use queue::EventQueue;
 pub use rng::SimRng;
+pub use series::{LatencyBreakdown, MeanBreakdown, TimeSeries};
 pub use time::Tick;

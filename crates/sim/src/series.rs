@@ -1,0 +1,269 @@
+//! Per-job latency breakdowns and bucketed time series.
+//!
+//! The runtime layer (in `cloudqc-core`) decomposes each job's
+//! completion time into *queueing* (arrival → admission), *EPR wait*
+//! (ticks with at least one EPR generation round in flight) and
+//! *compute* (the rest of the service time). [`TimeSeries`] accumulates
+//! throughput and utilization curves over fixed-width buckets, for the
+//! saturation views the paper's multi-tenant figures imply.
+
+use crate::time::Tick;
+
+/// Where one job's completion time went, in ticks.
+///
+/// `total() = queueing + epr_wait + compute`; the service time (from
+/// admission to finish) is `epr_wait + compute`.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    /// Ticks spent waiting for admission (arrival → placement).
+    pub queueing: u64,
+    /// Ticks of the service time with ≥ 1 EPR round in flight (the
+    /// job was blocked on, or overlapping with, entanglement
+    /// generation).
+    pub epr_wait: u64,
+    /// The remaining service ticks: purely local computation.
+    pub compute: u64,
+}
+
+impl LatencyBreakdown {
+    /// Builds a breakdown from its three components.
+    pub fn new(queueing: u64, epr_wait: u64, compute: u64) -> Self {
+        LatencyBreakdown {
+            queueing,
+            epr_wait,
+            compute,
+        }
+    }
+
+    /// The full completion time this breakdown decomposes.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cloudqc_sim::series::LatencyBreakdown;
+    ///
+    /// let b = LatencyBreakdown::new(100, 40, 60);
+    /// assert_eq!(b.total(), 200);
+    /// assert_eq!(b.fractions(), (0.5, 0.2, 0.3));
+    /// ```
+    pub fn total(&self) -> u64 {
+        self.queueing + self.epr_wait + self.compute
+    }
+
+    /// `(queueing, epr_wait, compute)` as fractions of the total; all
+    /// zero for an empty breakdown.
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let total = self.total();
+        if total == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let t = total as f64;
+        (
+            self.queueing as f64 / t,
+            self.epr_wait as f64 / t,
+            self.compute as f64 / t,
+        )
+    }
+
+    /// Component-wise mean over several breakdowns (`None` if empty).
+    pub fn mean_of(samples: &[LatencyBreakdown]) -> Option<MeanBreakdown> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len() as f64;
+        Some(MeanBreakdown {
+            queueing: samples.iter().map(|b| b.queueing as f64).sum::<f64>() / n,
+            epr_wait: samples.iter().map(|b| b.epr_wait as f64).sum::<f64>() / n,
+            compute: samples.iter().map(|b| b.compute as f64).sum::<f64>() / n,
+        })
+    }
+}
+
+/// Component-wise mean of many [`LatencyBreakdown`]s.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct MeanBreakdown {
+    /// Mean queueing ticks.
+    pub queueing: f64,
+    /// Mean EPR-wait ticks.
+    pub epr_wait: f64,
+    /// Mean compute ticks.
+    pub compute: f64,
+}
+
+impl MeanBreakdown {
+    /// Mean total completion time.
+    pub fn total(&self) -> f64 {
+        self.queueing + self.epr_wait + self.compute
+    }
+}
+
+/// A time series over fixed-width tick buckets.
+///
+/// Two accumulation modes cover the runtime's reporting needs:
+/// point events ([`TimeSeries::add`], e.g. one completed job → a
+/// throughput curve) and interval loads ([`TimeSeries::add_interval`],
+/// e.g. qubits held from admission to finish → a utilization curve).
+///
+/// # Example
+///
+/// ```
+/// use cloudqc_sim::series::TimeSeries;
+/// use cloudqc_sim::Tick;
+///
+/// let mut ts = TimeSeries::new(100);
+/// ts.add(Tick::new(30), 1.0); // a completion in bucket 0
+/// ts.add(Tick::new(130), 1.0); // one in bucket 1
+/// ts.add(Tick::new(180), 1.0); // another in bucket 1
+/// assert_eq!(ts.buckets(), &[1.0, 2.0]);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimeSeries {
+    bucket_width: u64,
+    buckets: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// An empty series with the given bucket width in ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is zero.
+    pub fn new(bucket_width: u64) -> Self {
+        assert!(bucket_width > 0, "bucket width must be positive");
+        TimeSeries {
+            bucket_width,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// The configured bucket width in ticks.
+    pub fn bucket_width(&self) -> u64 {
+        self.bucket_width
+    }
+
+    /// Adds `value` to the bucket containing `t`.
+    pub fn add(&mut self, t: Tick, value: f64) {
+        let idx = (t.as_ticks() / self.bucket_width) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0.0);
+        }
+        self.buckets[idx] += value;
+    }
+
+    /// Spreads a constant load of `rate` (value per tick) over the
+    /// half-open interval `[from, to)`: every overlapped bucket gains
+    /// `rate × overlap_ticks`. A zero-length interval adds nothing.
+    pub fn add_interval(&mut self, from: Tick, to: Tick, rate: f64) {
+        if to <= from {
+            return;
+        }
+        let (lo, hi) = (from.as_ticks(), to.as_ticks());
+        let mut t = lo;
+        while t < hi {
+            let bucket_end = (t / self.bucket_width + 1) * self.bucket_width;
+            let seg_end = bucket_end.min(hi);
+            self.add(Tick::new(t), rate * (seg_end - t) as f64);
+            t = seg_end;
+        }
+    }
+
+    /// Bucket totals, index `i` covering
+    /// `[i·bucket_width, (i+1)·bucket_width)`. Empty trailing buckets
+    /// are not materialized.
+    pub fn buckets(&self) -> &[f64] {
+        &self.buckets
+    }
+
+    /// `(bucket start, value)` pairs for plotting.
+    pub fn points(&self) -> Vec<(Tick, f64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (Tick::new(i as u64 * self.bucket_width), v))
+            .collect()
+    }
+
+    /// The same series with every bucket scaled by `factor` (e.g.
+    /// `1 / (capacity × bucket_width)` turns qubit-ticks into a
+    /// utilization fraction).
+    pub fn scaled(&self, factor: f64) -> TimeSeries {
+        TimeSeries {
+            bucket_width: self.bucket_width,
+            buckets: self.buckets.iter().map(|v| v * factor).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_totals_and_fractions() {
+        let b = LatencyBreakdown::new(50, 30, 20);
+        assert_eq!(b.total(), 100);
+        let (q, e, c) = b.fractions();
+        assert_eq!((q, e, c), (0.5, 0.3, 0.2));
+        assert_eq!(LatencyBreakdown::default().fractions(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn breakdown_mean() {
+        let mean = LatencyBreakdown::mean_of(&[
+            LatencyBreakdown::new(10, 0, 10),
+            LatencyBreakdown::new(30, 4, 20),
+        ])
+        .unwrap();
+        assert_eq!(mean.queueing, 20.0);
+        assert_eq!(mean.epr_wait, 2.0);
+        assert_eq!(mean.compute, 15.0);
+        assert_eq!(mean.total(), 37.0);
+        assert_eq!(LatencyBreakdown::mean_of(&[]), None);
+    }
+
+    #[test]
+    fn point_accumulation() {
+        let mut ts = TimeSeries::new(10);
+        ts.add(Tick::new(0), 1.0);
+        ts.add(Tick::new(9), 1.0);
+        ts.add(Tick::new(10), 1.0);
+        ts.add(Tick::new(35), 2.0);
+        assert_eq!(ts.buckets(), &[2.0, 1.0, 0.0, 2.0]);
+        assert_eq!(ts.points()[3], (Tick::new(30), 2.0));
+    }
+
+    #[test]
+    fn interval_accumulation_splits_across_buckets() {
+        let mut ts = TimeSeries::new(10);
+        // 3 qubits held over [5, 25): 5 ticks in bucket 0, 10 in
+        // bucket 1, 5 in bucket 2.
+        ts.add_interval(Tick::new(5), Tick::new(25), 3.0);
+        assert_eq!(ts.buckets(), &[15.0, 30.0, 15.0]);
+        // Total mass is rate × length.
+        assert_eq!(ts.buckets().iter().sum::<f64>(), 60.0);
+    }
+
+    #[test]
+    fn interval_edge_cases() {
+        let mut ts = TimeSeries::new(10);
+        ts.add_interval(Tick::new(7), Tick::new(7), 5.0); // empty
+        assert!(ts.buckets().is_empty());
+        ts.add_interval(Tick::new(10), Tick::new(20), 1.0); // exact bucket
+        assert_eq!(ts.buckets(), &[0.0, 10.0]);
+    }
+
+    #[test]
+    fn scaling() {
+        let mut ts = TimeSeries::new(100);
+        ts.add_interval(Tick::new(0), Tick::new(100), 4.0);
+        let util = ts.scaled(1.0 / (8.0 * 100.0)); // 8-qubit capacity
+        assert_eq!(util.buckets(), &[0.5]);
+        assert_eq!(util.bucket_width(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_bucket_width_panics() {
+        TimeSeries::new(0);
+    }
+}

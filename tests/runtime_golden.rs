@@ -1,0 +1,149 @@
+//! Golden seed-equivalence: the unified runtime must reproduce the
+//! pre-refactor execution stack's outcomes exactly.
+//!
+//! The expected values below were captured from the seed
+//! implementation (batch-only `run_multi_tenant` + ad-hoc incoming
+//! loop, executor rebuilding its request vector every round) at commit
+//! `37af50c`, before the runtime refactor. Same seeds, same per-job
+//! completion times — any drift here means the orchestrator or the
+//! incremental-allocation executor changed observable behaviour.
+
+use cloudqc::circuit::generators::catalog;
+use cloudqc::circuit::Circuit;
+use cloudqc::cloud::CloudBuilder;
+use cloudqc::core::batch::OrderingPolicy;
+use cloudqc::core::placement::{CloudQcBfsPlacement, CloudQcPlacement};
+use cloudqc::core::schedule::CloudQcScheduler;
+use cloudqc::core::tenant::{run_incoming, run_multi_tenant};
+use cloudqc::sim::Tick;
+
+fn batch(names: &[&str]) -> Vec<Circuit> {
+    names
+        .iter()
+        .map(|n| catalog::by_name(n).expect("catalog circuit"))
+        .collect()
+}
+
+#[test]
+fn batch_mode_reproduces_seed_outcomes() {
+    let cloud = CloudBuilder::paper_default(1).build();
+    let jobs = batch(&[
+        "ghz_n127",
+        "qugan_n71",
+        "knn_n67",
+        "adder_n64",
+        "cat_n65",
+        "bv_n70",
+        "qugan_n39",
+        "qft_n29",
+    ]);
+    let expected: [(u64, [u64; 8]); 3] = [
+        (3, [2250, 33332, 26120, 10503, 7398, 6254, 35907, 45962]),
+        (7, [2217, 22290, 23760, 11285, 8385, 7041, 22439, 42431]),
+        (42, [2418, 20946, 36602, 11067, 7957, 6513, 26829, 48698]),
+    ];
+    for (seed, times) in expected {
+        let run = run_multi_tenant(
+            &jobs,
+            &cloud,
+            &CloudQcPlacement::default(),
+            &CloudQcScheduler,
+            OrderingPolicy::default(),
+            seed,
+        )
+        .unwrap();
+        let got: Vec<u64> = run
+            .outcomes
+            .iter()
+            .map(|o| o.completion_time.as_ticks())
+            .collect();
+        assert_eq!(got, times, "batch metric ordering, seed {seed}");
+        assert_eq!(
+            run.makespan.as_ticks(),
+            *times.iter().max().unwrap(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn fifo_contended_batch_reproduces_seed_outcomes() {
+    // A cloud that serializes these 30-qubit jobs: queueing delay is
+    // part of the golden times.
+    let cloud = CloudBuilder::new(4)
+        .computing_qubits(10)
+        .ring_topology()
+        .build();
+    let jobs = batch(&["ghz_n30", "ghz_n30", "ghz_n30"]);
+    let expected: [(u64, [u64; 3]); 2] = [(5, [643, 1486, 2129]), (11, [643, 1537, 2180])];
+    for (seed, times) in expected {
+        let run = run_multi_tenant(
+            &jobs,
+            &cloud,
+            &CloudQcPlacement::default(),
+            &CloudQcScheduler,
+            OrderingPolicy::Fifo,
+            seed,
+        )
+        .unwrap();
+        let got: Vec<u64> = run
+            .outcomes
+            .iter()
+            .map(|o| o.completion_time.as_ticks())
+            .collect();
+        assert_eq!(got, times, "batch FIFO, seed {seed}");
+    }
+}
+
+#[test]
+fn incoming_mode_reproduces_seed_outcomes() {
+    let cloud = CloudBuilder::paper_default(11).build();
+    let jobs: Vec<(Circuit, Tick)> = [
+        ("qugan_n39", 0u64),
+        ("ising_n34", 5_000),
+        ("bv_n70", 9_000),
+        ("qft_n29", 9_000),
+        ("knn_n67", 15_000),
+    ]
+    .iter()
+    .map(|&(n, t)| (catalog::by_name(n).unwrap(), Tick::new(t)))
+    .collect();
+    let expected: [(u64, [(u64, u64); 5]); 2] = [
+        (
+            3,
+            [
+                (0, 8574),
+                (5000, 397),
+                (9000, 3431),
+                (9000, 32053),
+                (15000, 18520),
+            ],
+        ),
+        (
+            13,
+            [
+                (0, 8029),
+                (5000, 497),
+                (9000, 3431),
+                (9000, 31097),
+                (15000, 18120),
+            ],
+        ),
+    ];
+    for (seed, records) in expected {
+        let run = run_incoming(
+            &jobs,
+            &cloud,
+            &CloudQcBfsPlacement::default(),
+            &CloudQcScheduler,
+            seed,
+        )
+        .unwrap();
+        let got: Vec<(u64, u64)> = run
+            .outcomes
+            .iter()
+            .map(|o| (o.admitted_at.as_ticks(), o.completion_time.as_ticks()))
+            .collect();
+        assert_eq!(got, records.to_vec(), "incoming mode, seed {seed}");
+    }
+}
