@@ -1,14 +1,23 @@
 //! The runtime under communication contention — the anchor benchmark
 //! for the executor's incremental-allocation hot path.
 //!
-//! Two kernels:
+//! Four kernels:
 //! * `runtime/*` — the full orchestration loop (admission, placement,
 //!   execution) over a contended Poisson open-arrival workload, per
 //!   admission policy.
 //! * `executor/*` — pre-placed jobs admitted together into the bare
 //!   executor with scarce communication qubits and low EPR success
 //!   probability, so allocation rounds dominate: this isolates the
-//!   front-layer maintenance cost.
+//!   front-layer maintenance cost. The `_unbatched` variant disables
+//!   change-driven allocation elision (the pre-batching behaviour) to
+//!   price the optimization.
+//! * `placement_cache/*` — steady-state traffic of repeated circuit
+//!   shapes under fingerprint seeding, cached vs uncached: the
+//!   admission loop's placement-memoization win.
+//!
+//! With `BENCH_JSON=<path>` in the environment every case's minimum
+//! sample lands in `<path>` as ms/run — the input of the CI
+//! bench-regression gate (see `bench_gate`).
 
 use cloudqc_bench::bench_circuit;
 use cloudqc_circuit::Circuit;
@@ -99,8 +108,64 @@ fn bench_executor_contention(c: &mut Criterion) {
             exec.now()
         });
     });
+    group.bench_function("32_jobs_unbatched", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let mut exec =
+                Executor::new(&cloud, &CloudQcScheduler, seed).with_batched_allocation(false);
+            for (circuit, p) in black_box(&placed) {
+                exec.add_job(circuit, p);
+            }
+            exec.run_to_completion();
+            exec.now()
+        });
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_runtime_contention, bench_executor_contention);
+fn bench_placement_cache(c: &mut Criterion) {
+    // Steady-state traffic of two repeated shapes: the free-capacity
+    // vector oscillates through a small set of values, so under
+    // fingerprint seeding the (fingerprint, free-vector) signature
+    // recurs and the cache elides the full placement pipeline.
+    let cloud = CloudBuilder::new(8)
+        .computing_qubits(40)
+        .communication_qubits(3)
+        .ring_topology()
+        .build();
+    let pool: Vec<Circuit> = ["knn_n67", "adder_n64"]
+        .iter()
+        .map(|n| bench_circuit(n))
+        .collect();
+    let workload = Workload::poisson(&pool, 48, 1_500.0, 7);
+    let placement = CloudQcPlacement::default();
+    let mut group = c.benchmark_group("multi_tenant_contention/placement_cache");
+    group.sample_size(10);
+    for (name, cached) in [
+        ("steady_shapes_cached", true),
+        ("steady_shapes_uncached", false),
+    ] {
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                Orchestrator::new(&cloud, &placement, &CloudQcScheduler, seed)
+                    .with_admission(AdmissionPolicy::Backfill)
+                    .with_fingerprint_seeding(true)
+                    .with_placement_cache(cached)
+                    .run(black_box(&workload))
+                    .expect("steady run completes")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_runtime_contention,
+    bench_executor_contention,
+    bench_placement_cache
+);
 criterion_main!(benches);

@@ -1,7 +1,11 @@
-//! Shared fixtures for the CloudQC Criterion benchmarks.
+//! Shared fixtures for the CloudQC Criterion benchmarks, plus the
+//! machine-readable results format behind the CI bench-regression
+//! gate (see [`results`] and the `bench_gate` binary).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod results;
 
 use cloudqc_circuit::generators::catalog;
 use cloudqc_circuit::Circuit;

@@ -11,6 +11,8 @@
 //! * [`dag`] — gate dependency DAGs and front-layer tracking.
 //! * [`interaction`] — weighted qubit interaction graphs.
 //! * [`stats`] — Table II circuit characteristics.
+//! * [`fingerprint`] — stable structural digests (placement-cache
+//!   keys).
 //! * [`qasm`] — an OpenQASM 2.0 subset parser and writer (standing in
 //!   for PytKet, which the paper used to analyze QASMBench files).
 //! * [`generators`] — programmatic constructions of every QASMBench
@@ -36,6 +38,7 @@
 
 pub mod circuit;
 pub mod dag;
+pub mod fingerprint;
 pub mod gate;
 pub mod generators;
 pub mod interaction;
@@ -43,4 +46,5 @@ pub mod qasm;
 pub mod stats;
 
 pub use circuit::{Circuit, CircuitError};
+pub use fingerprint::Fingerprint;
 pub use gate::{Gate, GateKind, Qubit};

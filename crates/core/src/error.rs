@@ -93,6 +93,18 @@ pub enum ExecError {
     },
 }
 
+impl ExecError {
+    /// Short stable label of the variant, for per-cause rejection
+    /// breakdowns in experiment tables.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            ExecError::NoCommQubits { .. } => "no-comm-qubits",
+            ExecError::NoRoute { .. } => "no-route",
+            ExecError::StationWithoutCommQubits { .. } => "station-no-comm",
+        }
+    }
+}
+
 impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -129,6 +141,25 @@ mod tests {
         assert!(PlacementError::NoFeasiblePlacement
             .to_string()
             .contains("feasible"));
+    }
+
+    #[test]
+    fn exec_error_kind_names_are_distinct() {
+        let (a, b) = (QpuId::new(0), QpuId::new(3));
+        let kinds = [
+            ExecError::NoCommQubits { a, b }.kind_name(),
+            ExecError::NoRoute { a, b }.kind_name(),
+            ExecError::StationWithoutCommQubits {
+                station: QpuId::new(1),
+                a,
+                b,
+            }
+            .kind_name(),
+        ];
+        assert_eq!(
+            kinds.len(),
+            kinds.iter().collect::<std::collections::HashSet<_>>().len()
+        );
     }
 
     #[test]

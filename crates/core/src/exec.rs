@@ -21,14 +21,34 @@
 //!
 //! The allocation front layer is maintained *incrementally*: the
 //! request set (one [`RemoteRequest`] per pending remote gate, sorted
-//! by key) is updated when a gate enters or leaves the front layer
-//! instead of being rebuilt from every job's pending list on every
-//! event round. Routes and swapping-station indices are resolved once
-//! at admission and cached per remote gate; the path-reservation filter
-//! reuses one scratch buffer across rounds. The incremental set is
-//! byte-for-byte equivalent to the rebuild (requests carry static
-//! endpoints and priorities and are consumed in sorted-key order), so
-//! seeded runs reproduce the pre-optimization schedules exactly.
+//! by priority descending then key ascending — the order the
+//! priority-aware schedulers sort into, so their sorts hit the
+//! pre-sorted fast path) is updated when a gate enters or leaves the
+//! front layer instead of being rebuilt from every job's pending list
+//! on every event round. Routes and swapping-station indices are
+//! resolved once at admission and cached per remote gate; the
+//! path-reservation filter reuses one scratch buffer across rounds.
+//! The incremental set is byte-for-byte equivalent to the rebuild for
+//! every order-insensitive scheduler (all but
+//! [`crate::schedule::RandomScheduler`], whose shuffle consumes its
+//! input order), so seeded runs reproduce the pre-optimization
+//! schedules exactly.
+//!
+//! Events are processed in *same-tick batches*: [`Executor::step`]
+//! drains every event sharing the head timestamp, applies them in one
+//! round, and only then runs a single allocation pass — one front-layer
+//! update per tick instead of per event. On top of that, allocation
+//! rounds are *change-driven*: when the scheduler is pure
+//! ([`Scheduler::is_pure`]) and neither the front layer nor any QPU's
+//! free communication qubits changed since a round that granted
+//! nothing, the pass is elided outright — re-running a pure scheduler
+//! on identical inputs would provably grant nothing again. Ticks whose
+//! batch contains only local-gate completions therefore skip the
+//! scheduler entirely. Both layers leave seeded schedules byte
+//! identical (see `tests/runtime_golden.rs`);
+//! [`Executor::with_batched_allocation`] turns the elision off for
+//! A/B comparison. The per-tick batch-size distribution is tracked in
+//! [`Executor::batch_stats`].
 
 use crate::error::ExecError;
 use crate::placement::Placement;
@@ -36,7 +56,7 @@ use crate::schedule::{validate_allocations, RemoteRequest, Scheduler};
 use cloudqc_circuit::dag::{gate_dag, FrontTracker};
 use cloudqc_circuit::{Circuit, GateKind};
 use cloudqc_cloud::{Cloud, QpuId};
-use cloudqc_sim::{EventQueue, SimRng, Tick};
+use cloudqc_sim::{BatchStats, EventQueue, SimRng, Tick};
 use rand::rngs::StdRng;
 
 use crate::schedule::priority::priorities;
@@ -110,12 +130,25 @@ pub struct Executor<'a> {
     unfinished: usize,
     path_reservation: bool,
     /// The allocation front layer: one request per pending remote gate,
-    /// kept sorted by key (maintained incrementally).
+    /// kept sorted by (priority desc, key asc) — the priority-aware
+    /// schedulers' own order (maintained incrementally).
     requests: Vec<RemoteRequest>,
     /// Reused buffer for the path-reservation round filter.
     round_scratch: Vec<RemoteRequest>,
     /// Jobs finished since the last drain, in completion-event order.
     newly_finished: Vec<usize>,
+    /// Change-driven allocation elision enabled (see
+    /// [`Executor::with_batched_allocation`]).
+    batched_allocation: bool,
+    /// Cached [`Scheduler::is_pure`] — elision is only sound for pure
+    /// schedulers.
+    scheduler_pure: bool,
+    /// True when the last allocation pass ran on the current front
+    /// layer and capacities and granted nothing: until something
+    /// changes, a pure scheduler would grant nothing again.
+    front_settled: bool,
+    /// Events drained per tick (same-tick batch sizes).
+    batch_stats: BatchStats,
 }
 
 impl<'a> Executor<'a> {
@@ -136,6 +169,10 @@ impl<'a> Executor<'a> {
             requests: Vec::new(),
             round_scratch: Vec::new(),
             newly_finished: Vec::new(),
+            batched_allocation: true,
+            scheduler_pure: scheduler.is_pure(),
+            front_settled: false,
+            batch_stats: BatchStats::default(),
         }
     }
 
@@ -158,6 +195,26 @@ impl<'a> Executor<'a> {
         self
     }
 
+    /// Enables or disables change-driven allocation elision (on by
+    /// default): with a pure scheduler, allocation rounds whose inputs
+    /// are unchanged since a round that granted nothing are skipped.
+    /// Disabling re-runs the scheduler on every event tick — the
+    /// pre-batching behaviour, kept for A/B equivalence tests. Elided
+    /// and non-elided runs produce byte-identical seeded schedules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if jobs were already admitted (the mode must be fixed
+    /// up front).
+    pub fn with_batched_allocation(mut self, enabled: bool) -> Self {
+        assert!(
+            self.jobs.is_empty(),
+            "batched allocation must be set before admitting jobs"
+        );
+        self.batched_allocation = enabled;
+        self
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> Tick {
         self.now
@@ -173,6 +230,13 @@ impl<'a> Executor<'a> {
     /// conservation).
     pub fn comm_free(&self) -> &[usize] {
         &self.comm_free
+    }
+
+    /// Distribution of same-tick event batch sizes processed so far:
+    /// one sample per [`Executor::step`], counting the events drained
+    /// at that tick.
+    pub fn batch_stats(&self) -> &BatchStats {
+        &self.batch_stats
     }
 
     /// Admits a job at the current simulated time, or explains why its
@@ -299,7 +363,9 @@ impl<'a> Executor<'a> {
     }
 
     /// Adds the request for remote gate `node` of `job` to the front
-    /// layer, keeping the set sorted by key.
+    /// layer, keeping the set sorted by (priority desc, key asc) — the
+    /// order the priority-aware schedulers sort into, so their sorts
+    /// hit the pre-sorted fast path.
     fn insert_request(&mut self, job: usize, node: usize) {
         let state = &self.jobs[job];
         let (a, b) = state.remote.endpoints(node);
@@ -311,23 +377,35 @@ impl<'a> Executor<'a> {
         };
         let pos = self
             .requests
-            .binary_search_by_key(&req.key, |r| r.key)
+            .binary_search_by(|r| request_order(r, req.priority, req.key))
             .expect_err("request keys are unique while pending");
         self.requests.insert(pos, req);
+        self.front_settled = false;
     }
 
     /// Removes a request from the front layer (its round started).
     fn remove_request(&mut self, key: u64) {
+        let (job, node) = decode_key(key);
+        let priority = self.jobs[job].priorities[node];
         let pos = self
             .requests
-            .binary_search_by_key(&key, |r| r.key)
+            .binary_search_by(|r| request_order(r, priority, key))
             .expect("allocated request was pending");
         self.requests.remove(pos);
+        self.front_settled = false;
     }
 
     /// Runs the network scheduler over all pending remote gates.
+    ///
+    /// Change-driven elision: with a pure scheduler, a pass whose
+    /// inputs (front layer + free communication qubits) are unchanged
+    /// since a pass that granted nothing is skipped — it would grant
+    /// nothing again.
     fn try_allocate(&mut self) {
         if self.requests.is_empty() {
+            return;
+        }
+        if self.batched_allocation && self.scheduler_pure && self.front_settled {
             return;
         }
         let scheduler = self.scheduler;
@@ -347,6 +425,7 @@ impl<'a> Executor<'a> {
                     .copied(),
             );
             if self.round_scratch.is_empty() {
+                self.front_settled = true;
                 return;
             }
             let allocations =
@@ -369,6 +448,7 @@ impl<'a> Executor<'a> {
             allocations
         };
         let epr_latency = self.cloud.latency().epr_attempt();
+        let mut granted = false;
         for alloc in allocations {
             let (job, node) = decode_key(alloc.key);
             let (a, b) = self.jobs[job].remote.endpoints(node);
@@ -395,6 +475,7 @@ impl<'a> Executor<'a> {
             self.comm_free[a.index()] -= pairs;
             self.comm_free[b.index()] -= pairs;
             self.remove_request(alloc.key);
+            granted = true;
             let state = &mut self.jobs[job];
             state.epr_rounds += 1;
             if state.active_rounds == 0 {
@@ -406,6 +487,10 @@ impl<'a> Executor<'a> {
                 Event::RoundDone { job, node, pairs },
             );
         }
+        // A granting pass changed the inputs (requests and capacities),
+        // so the next tick re-runs as before; a barren pass settles the
+        // front layer until something changes.
+        self.front_settled = !granted;
     }
 
     fn handle(&mut self, event: Event) {
@@ -428,6 +513,8 @@ impl<'a> Executor<'a> {
                         self.comm_free[q] += 1;
                     }
                 }
+                // Freed capacity may unblock pending requests.
+                self.front_settled = false;
                 {
                     let state = &mut self.jobs[job];
                     state.active_rounds -= 1;
@@ -476,10 +563,13 @@ impl<'a> Executor<'a> {
             return false;
         };
         self.now = t;
+        let mut batch = 0usize;
         while self.queue.peek_time() == Some(t) {
             let (_, event) = self.queue.pop().expect("peeked event exists");
             self.handle(event);
+            batch += 1;
         }
+        self.batch_stats.record(batch);
         self.try_allocate();
         true
     }
@@ -536,6 +626,12 @@ impl<'a> Executor<'a> {
             epr_wait: job.epr_wait,
         })
     }
+}
+
+/// The front-layer ordering: priority descending, key ascending —
+/// total because keys are unique.
+fn request_order(r: &RemoteRequest, priority: usize, key: u64) -> std::cmp::Ordering {
+    priority.cmp(&r.priority).then_with(|| r.key.cmp(&key))
 }
 
 fn encode_key(job: usize, node: usize) -> u64 {

@@ -1,0 +1,318 @@
+//! Placement memoization for the runtime's admission hot path.
+//!
+//! Profiling the orchestrator under admission churn shows placement as
+//! the dominant cost: every pass over the waiting queue re-runs the
+//! full Algorithm 1 pipeline (partition sweep × QPU-set search ×
+//! scoring) per job, even when nothing about the problem changed since
+//! the last attempt — the typical case for a head-of-line job retried
+//! on every loop iteration while the cloud drains.
+//!
+//! [`PlacementCache`] memoizes [`PlacementAlgorithm::place`] outcomes —
+//! successes *and* failures (the failure entries are what break the
+//! retry loop) — for one fixed (algorithm instance, cloud) pair (the
+//! orchestrator builds one cache per run; debug builds enforce the
+//! binding), keyed by a signature of everything else the algorithm
+//! can observe:
+//!
+//! * the circuit's structural [`Fingerprint`] (name-independent, so
+//!   identical circuits submitted by different tenants share entries),
+//! * the cloud's free-computing-capacity vector, quantized by
+//!   [`PlacementCache::quantum`] (bucket size in qubits), and
+//! * the placement seed.
+//!
+//! With the default quantum of 1 the signature captures the exact free
+//! vector, so a hit replays a computation with identical inputs and the
+//! cached result is *provably* what the algorithm would return —
+//! cached and uncached runs produce byte-identical schedules (pinned in
+//! `tests/runtime_golden.rs`). Coarser quanta trade fidelity for hit
+//! rate: capacity drifts within a bucket reuse the old result, which
+//! can shift schedules (never correctness — see below) and is why
+//! coarse quanta are opt-in.
+//!
+//! Feasibility is never compromised: a cached placement is only reused
+//! after [`Placement::fits`] re-validates it against the *actual*
+//! status; a stale entry is recomputed and replaced. Capacity changes
+//! below the quantization threshold therefore cannot cause an
+//! infeasible reuse (property-tested in `tests/properties.rs`).
+
+use super::{Placement, PlacementAlgorithm};
+use crate::error::PlacementError;
+use cloudqc_circuit::{Circuit, Fingerprint};
+use cloudqc_cloud::{Cloud, CloudStatus, QpuId};
+use std::collections::HashMap;
+
+/// Hit/miss counters of a [`PlacementCache`] (surfaced per run in
+/// [`crate::runtime::RunReport`]).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that ran the placement algorithm (including
+    /// re-validations that found a stale entry).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when nothing was looked
+    /// up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    fingerprint: Fingerprint,
+    free_signature: Vec<usize>,
+    seed: u64,
+}
+
+/// A memo table over [`PlacementAlgorithm::place`] calls.
+///
+/// # Example
+///
+/// ```
+/// use cloudqc_circuit::generators::catalog;
+/// use cloudqc_cloud::CloudBuilder;
+/// use cloudqc_core::placement::{CloudQcPlacement, PlacementCache};
+///
+/// let cloud = CloudBuilder::paper_default(7).build();
+/// let circuit = catalog::by_name("qugan_n71").unwrap();
+/// let algo = CloudQcPlacement::default();
+/// let mut cache = PlacementCache::new();
+/// let cold = cache.place(&algo, &circuit, &cloud, &cloud.status(), 3);
+/// let warm = cache.place(&algo, &circuit, &cloud, &cloud.status(), 3);
+/// assert_eq!(cold, warm);
+/// assert_eq!(cache.stats().hits, 1);
+/// assert_eq!(cache.stats().misses, 1);
+/// ```
+#[derive(Clone, Default)]
+pub struct PlacementCache {
+    quantum: usize,
+    entries: HashMap<CacheKey, Result<Placement, PlacementError>>,
+    stats: CacheStats,
+    /// (algorithm name, QPU count) of the first lookup — the
+    /// one-algorithm-one-cloud contract, enforced in debug builds.
+    bound_to: Option<(&'static str, usize)>,
+}
+
+impl PlacementCache {
+    /// An empty cache with the exact (quantum 1) signature.
+    pub fn new() -> Self {
+        Self::with_quantum(1)
+    }
+
+    /// An empty cache whose free-capacity signature buckets each QPU's
+    /// free qubits by `quantum` (1 = exact).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum == 0`.
+    pub fn with_quantum(quantum: usize) -> Self {
+        assert!(quantum > 0, "quantization bucket must be positive");
+        PlacementCache {
+            quantum,
+            entries: HashMap::new(),
+            stats: CacheStats::default(),
+            bound_to: None,
+        }
+    }
+
+    /// The free-capacity bucket size of this cache's signature.
+    pub fn quantum(&self) -> usize {
+        self.quantum
+    }
+
+    /// Hit/miss counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of memoized (signature → outcome) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn free_signature(&self, status: &CloudStatus) -> Vec<usize> {
+        (0..status.qpu_count())
+            .map(|i| status.free_computing(QpuId::new(i)) / self.quantum)
+            .collect()
+    }
+
+    /// Memoized [`PlacementAlgorithm::place`], computing the circuit's
+    /// fingerprint on the fly. Prefer
+    /// [`PlacementCache::place_fingerprinted`] when the fingerprint is
+    /// already known (the orchestrator computes each job's once).
+    ///
+    /// # Errors
+    ///
+    /// Exactly the algorithm's errors; failures are memoized too.
+    pub fn place(
+        &mut self,
+        algorithm: &dyn PlacementAlgorithm,
+        circuit: &Circuit,
+        cloud: &Cloud,
+        status: &CloudStatus,
+        seed: u64,
+    ) -> Result<Placement, PlacementError> {
+        self.place_fingerprinted(
+            circuit.fingerprint(),
+            algorithm,
+            circuit,
+            cloud,
+            status,
+            seed,
+        )
+    }
+
+    /// Memoized [`PlacementAlgorithm::place`] with a precomputed
+    /// `fingerprint` (must be `circuit.fingerprint()`).
+    ///
+    /// A hit requires signature equality *and*, for successes, that the
+    /// cached placement still [`Placement::fits`] the actual `status`;
+    /// stale entries are recomputed and replaced.
+    ///
+    /// The algorithm and cloud are *not* part of the key: one cache
+    /// serves one (algorithm instance, cloud) pair for its whole life —
+    /// the orchestrator creates one per run. Mixing algorithms, tuned
+    /// configurations of one algorithm, or clouds through a single
+    /// cache is a logic error (hits would replay the wrong pipeline's
+    /// result); debug builds panic on an algorithm-name or QPU-count
+    /// mismatch.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the algorithm's errors; failures are memoized too.
+    pub fn place_fingerprinted(
+        &mut self,
+        fingerprint: Fingerprint,
+        algorithm: &dyn PlacementAlgorithm,
+        circuit: &Circuit,
+        cloud: &Cloud,
+        status: &CloudStatus,
+        seed: u64,
+    ) -> Result<Placement, PlacementError> {
+        let bound = (algorithm.name(), cloud.qpu_count());
+        debug_assert_eq!(
+            *self.bound_to.get_or_insert(bound),
+            bound,
+            "a PlacementCache serves one (algorithm, cloud) pair"
+        );
+        let key = CacheKey {
+            fingerprint,
+            free_signature: self.free_signature(status),
+            seed,
+        };
+        if let Some(cached) = self.entries.get(&key) {
+            let feasible = match cached {
+                Ok(placement) => placement.fits(status),
+                Err(_) => true,
+            };
+            if feasible {
+                self.stats.hits += 1;
+                return cached.clone();
+            }
+        }
+        self.stats.misses += 1;
+        let result = algorithm.place(circuit, cloud, status, seed);
+        self.entries.insert(key, result.clone());
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::CloudQcPlacement;
+    use cloudqc_circuit::generators::catalog;
+    use cloudqc_cloud::CloudBuilder;
+
+    fn cloud() -> Cloud {
+        CloudBuilder::paper_default(3).build()
+    }
+
+    #[test]
+    fn hit_replays_the_cold_result() {
+        let cloud = cloud();
+        let algo = CloudQcPlacement::default();
+        let circuit = catalog::by_name("knn_n67").unwrap();
+        let mut cache = PlacementCache::new();
+        let cold = cache.place(&algo, &circuit, &cloud, &cloud.status(), 9);
+        let direct = algo.place(&circuit, &cloud, &cloud.status(), 9);
+        let warm = cache.place(&algo, &circuit, &cloud, &cloud.status(), 9);
+        assert_eq!(cold.as_ref().ok(), direct.as_ref().ok());
+        assert_eq!(cold, warm);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_seeds_and_statuses_miss() {
+        let cloud = cloud();
+        let algo = CloudQcPlacement::default();
+        let circuit = catalog::by_name("qugan_n71").unwrap();
+        let mut cache = PlacementCache::new();
+        let mut status = cloud.status();
+        cache.place(&algo, &circuit, &cloud, &status, 1).unwrap();
+        cache.place(&algo, &circuit, &cloud, &status, 2).unwrap();
+        status.allocate_computing(QpuId::new(0), 1).unwrap();
+        cache.place(&algo, &circuit, &cloud, &status, 1).unwrap();
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 3 });
+    }
+
+    #[test]
+    fn failures_are_memoized() {
+        let cloud = CloudBuilder::new(2).computing_qubits(10).build();
+        let algo = CloudQcPlacement::default();
+        let circuit = catalog::by_name("ghz_n127").unwrap();
+        let mut cache = PlacementCache::new();
+        let a = cache.place(&algo, &circuit, &cloud, &cloud.status(), 0);
+        let b = cache.place(&algo, &circuit, &cloud, &cloud.status(), 0);
+        assert!(a.is_err());
+        assert_eq!(a, b);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn coarse_quantum_guard_recomputes_instead_of_infeasible_reuse() {
+        // Quantum 8 lumps free counts 16..=23 together. Cache a
+        // placement at 20 free per QPU, then shrink to 16: the
+        // signature matches but the old placement may not fit — the
+        // guard must force a recompute, and the fresh result must fit.
+        let cloud = cloud();
+        let algo = CloudQcPlacement::default();
+        let circuit = catalog::by_name("ghz_n127").unwrap();
+        let mut cache = PlacementCache::with_quantum(8);
+        let full = cloud.status();
+        let cached = cache.place(&algo, &circuit, &cloud, &full, 5).unwrap();
+        assert!(cached.fits(&full));
+        let mut tight = cloud.status();
+        for i in 0..tight.qpu_count() {
+            tight.allocate_computing(QpuId::new(i), 4).unwrap();
+        }
+        let reused = cache.place(&algo, &circuit, &cloud, &tight, 5).unwrap();
+        assert!(reused.fits(&tight), "reuse must never be infeasible");
+    }
+
+    #[test]
+    fn hit_rate_reporting() {
+        let stats = CacheStats { hits: 3, misses: 1 };
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_quantum_rejected() {
+        PlacementCache::with_quantum(0);
+    }
+}

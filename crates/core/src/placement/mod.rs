@@ -17,6 +17,7 @@
 
 mod annealing;
 mod bfs;
+pub mod cache;
 mod cloudqc;
 pub mod cost;
 pub mod estimate;
@@ -27,6 +28,7 @@ pub mod score;
 
 pub use annealing::AnnealingPlacement;
 pub use bfs::CloudQcBfsPlacement;
+pub use cache::{CacheStats, PlacementCache};
 pub use cloudqc::CloudQcPlacement;
 pub use find_placement::{find_placement, FindPlacementMode};
 pub use genetic::GeneticPlacement;

@@ -17,12 +17,12 @@
 
 use crate::error::{ExecError, PlacementError};
 use crate::exec::Executor;
-use crate::placement::PlacementAlgorithm;
+use crate::placement::{CacheStats, PlacementAlgorithm, PlacementCache};
 use crate::runtime::AdmissionPolicy;
 use crate::schedule::Scheduler;
 use crate::workload::Workload;
 use cloudqc_cloud::{Cloud, CloudStatus};
-use cloudqc_sim::series::{LatencyBreakdown, MeanBreakdown, TimeSeries};
+use cloudqc_sim::series::{BatchStats, LatencyBreakdown, MeanBreakdown, TimeSeries};
 use cloudqc_sim::Tick;
 
 /// Per-job outcome of a runtime run.
@@ -64,6 +64,12 @@ pub struct RunReport {
     pub final_free_computing: Vec<usize>,
     /// Free communication qubits per QPU after the run.
     pub final_free_communication: Vec<usize>,
+    /// Placement-cache hit/miss counters (all zero when the cache is
+    /// disabled).
+    pub placement_cache: CacheStats,
+    /// Distribution of same-tick event batch sizes the executor
+    /// processed.
+    pub event_batches: BatchStats,
 }
 
 impl RunReport {
@@ -172,6 +178,10 @@ pub struct Orchestrator<'a> {
     scheduler: &'a dyn Scheduler,
     admission: AdmissionPolicy,
     path_reservation: bool,
+    placement_cache: bool,
+    cache_quantum: usize,
+    batched_allocation: bool,
+    fingerprint_seeding: bool,
     seed: u64,
 }
 
@@ -190,6 +200,10 @@ impl<'a> Orchestrator<'a> {
             scheduler,
             admission: AdmissionPolicy::default(),
             path_reservation: false,
+            placement_cache: true,
+            cache_quantum: 1,
+            batched_allocation: true,
+            fingerprint_seeding: false,
             seed,
         }
     }
@@ -204,6 +218,57 @@ impl<'a> Orchestrator<'a> {
     /// [`Executor::with_path_reservation`]).
     pub fn with_path_reservation(mut self, enabled: bool) -> Self {
         self.path_reservation = enabled;
+        self
+    }
+
+    /// Enables or disables the placement cache (on by default). With
+    /// the default exact signature (quantum 1) a hit replays an
+    /// identical computation, so cached and uncached runs produce
+    /// byte-identical schedules; disable only to A/B the cache or when
+    /// a placement algorithm violates seeded determinism.
+    pub fn with_placement_cache(mut self, enabled: bool) -> Self {
+        self.placement_cache = enabled;
+        self
+    }
+
+    /// Sets the placement cache's free-capacity quantization bucket
+    /// (default 1 = exact; see [`PlacementCache::with_quantum`]).
+    /// Coarser buckets raise the hit rate but let capacity drift within
+    /// a bucket reuse stale results, which can shift schedules (never
+    /// feasibility).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum == 0`.
+    pub fn with_cache_quantum(mut self, quantum: usize) -> Self {
+        assert!(quantum > 0, "quantization bucket must be positive");
+        self.cache_quantum = quantum;
+        self
+    }
+
+    /// Enables or disables the executor's change-driven allocation
+    /// elision (on by default; see
+    /// [`Executor::with_batched_allocation`]).
+    pub fn with_batched_allocation(mut self, enabled: bool) -> Self {
+        self.batched_allocation = enabled;
+        self
+    }
+
+    /// Derives each job's placement seed from its circuit's structural
+    /// fingerprint instead of its workload index (off by default).
+    ///
+    /// With fingerprint seeding, two jobs submitting the *same circuit
+    /// shape* against the *same free-capacity vector* are by
+    /// construction the same placement problem — which is exactly the
+    /// placement cache's key, so steady-state traffic of repeated
+    /// shapes hits the cache instead of re-running the full pipeline
+    /// per admission. Runs remain deterministic per run seed, and
+    /// cached and uncached runs remain byte-identical (the seed is a
+    /// function of the key either way); only the legacy per-index seed
+    /// derivation — and hence the exact schedules of existing seeded
+    /// runs — changes, which is why the mode is opt-in.
+    pub fn with_fingerprint_seeding(mut self, enabled: bool) -> Self {
+        self.fingerprint_seeding = enabled;
         self
     }
 
@@ -226,7 +291,19 @@ impl<'a> Orchestrator<'a> {
 
         let mut status = self.cloud.status();
         let mut exec = Executor::new(self.cloud, self.scheduler, self.seed)
-            .with_path_reservation(self.path_reservation);
+            .with_path_reservation(self.path_reservation)
+            .with_batched_allocation(self.batched_allocation);
+        // One fingerprint per job, computed up front so cache lookups
+        // on the admission hot path are O(qpus), not O(gates).
+        let mut cache = self
+            .placement_cache
+            .then(|| PlacementCache::with_quantum(self.cache_quantum));
+        let fingerprints: Vec<cloudqc_circuit::Fingerprint> =
+            if cache.is_some() || self.fingerprint_seeding {
+                circuits.iter().map(|c| c.fingerprint()).collect()
+            } else {
+                Vec::new()
+            };
         let mut waiting: Vec<usize> = Vec::new();
         // exec job id -> (workload index, demand vector)
         let mut admitted: Vec<(usize, Vec<usize>)> = Vec::new();
@@ -269,12 +346,25 @@ impl<'a> Orchestrator<'a> {
             let mut i = 0;
             while i < waiting.len() {
                 let job_idx = waiting[i];
-                match self.placement.place(
-                    circuits[job_idx],
-                    self.cloud,
-                    &status,
-                    self.seed ^ (job_idx as u64) << 17,
-                ) {
+                let job_seed = if self.fingerprint_seeding {
+                    self.seed ^ fingerprints[job_idx].as_u64()
+                } else {
+                    self.seed ^ (job_idx as u64) << 17
+                };
+                let placed = match cache.as_mut() {
+                    Some(cache) => cache.place_fingerprinted(
+                        fingerprints[job_idx],
+                        self.placement,
+                        circuits[job_idx],
+                        self.cloud,
+                        &status,
+                        job_seed,
+                    ),
+                    None => self
+                        .placement
+                        .place(circuits[job_idx], self.cloud, &status, job_seed),
+                };
+                match placed {
                     Ok(p) => {
                         let demand = p.qpu_demand(self.cloud.qpu_count());
                         match exec.try_add_job(circuits[job_idx], &p) {
@@ -370,6 +460,8 @@ impl<'a> Orchestrator<'a> {
             makespan,
             final_free_computing,
             final_free_communication: exec.comm_free().to_vec(),
+            placement_cache: cache.map(|c| c.stats()).unwrap_or_default(),
+            event_batches: exec.batch_stats().clone(),
         })
     }
 }

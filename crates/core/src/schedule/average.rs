@@ -45,6 +45,10 @@ impl Scheduler for AverageScheduler {
             }
         }
     }
+
+    fn is_pure(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

@@ -31,26 +31,39 @@ impl Scheduler for CloudQcScheduler {
         _rng: &mut StdRng,
     ) -> Vec<Allocation> {
         let mut ordered: Vec<&RemoteRequest> = requests.iter().collect();
-        ordered.sort_by(|x, y| y.priority.cmp(&x.priority).then(x.key.cmp(&y.key)));
+        // The (priority desc, key asc) order is total (keys are unique),
+        // so the unstable sort is deterministic.
+        ordered.sort_unstable_by(|x, y| y.priority.cmp(&x.priority).then(x.key.cmp(&y.key)));
         let mut remaining = available.to_vec();
 
         // Phase 1: starvation-freedom floor.
         let mut allocations = grant_one_each(&ordered, &mut remaining);
 
         // Phase 2: redundancy by priority. Bound each gate's extra pairs
-        // to what still fits on both endpoints.
+        // to what still fits on both endpoints. The floor allocations
+        // are a subsequence of `ordered`, so one forward cursor pairs
+        // each granted request with its slot.
+        let mut slot = 0;
         for req in &ordered {
-            let Some(slot) = allocations.iter_mut().find(|a| a.key == req.key) else {
+            if slot == allocations.len() {
+                break;
+            }
+            if allocations[slot].key != req.key {
                 continue; // didn't even get the floor: endpoints exhausted
-            };
+            }
             let extra = remaining[req.a.index()].min(remaining[req.b.index()]);
             if extra > 0 {
-                slot.pairs += extra;
+                allocations[slot].pairs += extra;
                 remaining[req.a.index()] -= extra;
                 remaining[req.b.index()] -= extra;
             }
+            slot += 1;
         }
         allocations
+    }
+
+    fn is_pure(&self) -> bool {
+        true
     }
 }
 

@@ -41,6 +41,10 @@ impl Scheduler for GreedyScheduler {
         }
         allocations
     }
+
+    fn is_pure(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

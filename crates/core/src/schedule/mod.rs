@@ -77,6 +77,18 @@ pub trait Scheduler {
         available: &[usize],
         rng: &mut StdRng,
     ) -> Vec<Allocation>;
+
+    /// Whether [`Scheduler::allocate`] is a pure function of
+    /// `(requests, available)` that never draws from `rng`.
+    ///
+    /// Pure schedulers let the executor elide allocation rounds whose
+    /// inputs are unchanged since a round that granted nothing — the
+    /// re-run would provably grant nothing again. Schedulers that
+    /// consume randomness must return `false` (the default): eliding a
+    /// call would shift their RNG stream and change seeded schedules.
+    fn is_pure(&self) -> bool {
+        false
+    }
 }
 
 /// Checks the [`Scheduler`] contract: per-QPU totals within budget,

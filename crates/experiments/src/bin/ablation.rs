@@ -31,8 +31,29 @@ fn main() {
     admission_ablation(&args);
 }
 
+/// Renders per-variant rejection counts ("no-comm-qubits×2 no-route×1",
+/// or "none") for the ablation tables.
+fn rejection_breakdown(rejections: &[(usize, cloudqc_core::error::ExecError)]) -> String {
+    use std::collections::BTreeMap;
+    if rejections.is_empty() {
+        return "none".to_owned();
+    }
+    let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for (_, err) in rejections {
+        *counts.entry(err.kind_name()).or_default() += 1;
+    }
+    counts
+        .iter()
+        .map(|(kind, n)| format!("{kind}\u{d7}{n}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
 /// Ablation 6: how much of the batch manager's win is the *ordering*
-/// and how much the *backfill*? Bursty arrivals stress both.
+/// and how much the *backfill*? Bursty arrivals stress both. The
+/// rejection column breaks rejected jobs down by `ExecError` variant
+/// (all `none` on the paper's healthy fabric — see 6b for a degraded
+/// one).
 fn admission_ablation(args: &ExpArgs) {
     use cloudqc_core::runtime::{AdmissionPolicy, Orchestrator};
     use cloudqc_core::workload::Workload;
@@ -51,11 +72,13 @@ fn admission_ablation(args: &ExpArgs) {
         "mean JCT",
         "mean queue delay",
         "makespan",
+        "rejected (by cause)",
     ]);
-    for (name, policy) in policies {
+    for (name, policy) in &policies {
         let mut jct = 0.0;
         let mut queue = 0.0;
         let mut makespan = 0.0;
+        let mut rejections = Vec::new();
         for rep in 0..args.reps {
             let topo_seed = SimRng::new(args.seed)
                 .fork_indexed("topo6", rep as u64)
@@ -65,23 +88,76 @@ fn admission_ablation(args: &ExpArgs) {
             let workload = Workload::bursty(&pool, 3, 4, 20_000.0, run_seed);
             let placement = CloudQcPlacement::default();
             let report = Orchestrator::new(&cloud, &placement, &CloudQcScheduler, run_seed)
-                .with_admission(policy)
+                .with_admission(*policy)
                 .run(&workload)
                 .expect("bursty run completes");
             jct += report.mean_completion_time();
             queue += report.mean_breakdown().expect("non-empty").queueing;
             makespan += report.makespan.as_ticks() as f64;
+            rejections.extend(report.rejected);
         }
         let r = args.reps as f64;
         t.row(vec![
-            name.to_owned(),
+            (*name).to_owned(),
             fmt_num(jct / r),
             fmt_num(queue / r),
             fmt_num(makespan / r),
+            rejection_breakdown(&rejections),
         ]);
     }
     t.print();
     println!("\nBackfill removes head-of-line blocking; priority ordering additionally\nplaces dense jobs while the cloud is still well-connected.");
+    rejection_ablation(args, &policies);
+}
+
+/// Ablation 6b: the same policies on a communication-starved fabric
+/// (QPUs without communication qubits), where distributed jobs are
+/// rejected — the per-variant breakdown shows *why* each job bounced.
+fn rejection_ablation(args: &ExpArgs, policies: &[(&str, cloudqc_core::runtime::AdmissionPolicy)]) {
+    use cloudqc_cloud::Qpu;
+    use cloudqc_core::runtime::Orchestrator;
+    use cloudqc_core::workload::Workload;
+    println!("\nAblation 6b: rejection causes on a comm-starved fabric\n");
+    // Half the QPUs have no communication qubits: single-QPU jobs run,
+    // spanning jobs whose placement touches a dark QPU are rejected.
+    let cloud = CloudBuilder::new(4)
+        .line_topology()
+        .heterogeneous_qpus(vec![
+            Qpu::new(20, 0),
+            Qpu::new(20, 3),
+            Qpu::new(20, 0),
+            Qpu::new(20, 3),
+        ])
+        .build();
+    let pool: Vec<_> = ["ghz_n40", "vqe_n4", "qft_n29", "ghz_n50"]
+        .iter()
+        .map(|n| catalog::by_name(n).expect("catalog circuit"))
+        .collect();
+    let mut t = Table::new(vec!["admission", "completed", "rejected (by cause)"]);
+    for (name, policy) in policies {
+        let mut completed = 0usize;
+        let mut rejections = Vec::new();
+        for rep in 0..args.reps {
+            let run_seed = args.seed + rep as u64;
+            let workload = Workload::poisson(&pool, 8, 5_000.0, run_seed);
+            let placement = CloudQcPlacement::default();
+            let report = Orchestrator::new(&cloud, &placement, &CloudQcScheduler, run_seed)
+                .with_admission(*policy)
+                .run(&workload)
+                .expect("starved run completes");
+            completed += report.outcomes.len();
+            rejections.extend(report.rejected);
+        }
+        t.row(vec![
+            (*name).to_owned(),
+            format!("{completed}"),
+            rejection_breakdown(&rejections),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nEvery bounced job names its ExecError variant; on this fabric spanning\njobs die of no-comm-qubits while single-QPU jobs still complete."
+    );
 }
 
 /// Ablation 1: how much does the Eq. 11 ordering metric matter, and

@@ -37,12 +37,19 @@ fn main() {
         "p95 JCT".to_string(),
         "mean queue delay".to_string(),
         "mean EPR wait".to_string(),
+        "cache hit%".to_string(),
+        "batch mean/max".to_string(),
     ]);
     for &interarrival in &[50_000.0, 20_000.0, 5_000.0, 1_000.0] {
         for (name, algo) in &variants {
             let mut jcts: Vec<f64> = Vec::new();
             let mut delays: Vec<f64> = Vec::new();
             let mut epr_waits: Vec<f64> = Vec::new();
+            let mut cache_hits = 0u64;
+            let mut cache_lookups = 0u64;
+            let mut batch_ticks = 0u64;
+            let mut batch_events = 0u64;
+            let mut batch_max = 0usize;
             for rep in 0..args.reps {
                 let run_seed = SimRng::new(args.seed).fork_indexed(name, rep as u64).seed();
                 let cloud = CloudBuilder::paper_default(
@@ -61,10 +68,25 @@ fn main() {
                     delays.push(o.breakdown.queueing as f64);
                     epr_waits.push(o.breakdown.epr_wait as f64);
                 }
+                cache_hits += report.placement_cache.hits;
+                cache_lookups += report.placement_cache.hits + report.placement_cache.misses;
+                batch_ticks += report.event_batches.ticks();
+                batch_events += report.event_batches.events();
+                batch_max = batch_max.max(report.event_batches.max());
             }
             let jct = Summary::of(&jcts).expect("non-empty");
             let delay = Summary::of(&delays).expect("non-empty");
             let epr = Summary::of(&epr_waits).expect("non-empty");
+            let hit_pct = if cache_lookups == 0 {
+                0.0
+            } else {
+                100.0 * cache_hits as f64 / cache_lookups as f64
+            };
+            let mean_batch = if batch_ticks == 0 {
+                0.0
+            } else {
+                batch_events as f64 / batch_ticks as f64
+            };
             t.row(vec![
                 fmt_num(interarrival),
                 name.to_string(),
@@ -72,9 +94,11 @@ fn main() {
                 fmt_num(jct.p95),
                 fmt_num(delay.mean),
                 fmt_num(epr.mean),
+                format!("{hit_pct:.0}%"),
+                format!("{mean_batch:.2}/{batch_max}"),
             ]);
         }
     }
     t.print();
-    println!("\nShorter inter-arrival = heavier load: queueing delay should dominate JCT\nas the cloud saturates (EPR wait stays roughly constant per job).");
+    println!("\nShorter inter-arrival = heavier load: queueing delay should dominate JCT\nas the cloud saturates (EPR wait stays roughly constant per job).\n\"cache hit%\" is the placement cache's hit rate over all admission\nattempts; \"batch mean/max\" is the executor's same-tick event batch\nsize (events drained per allocation round).");
 }

@@ -44,5 +44,5 @@ pub mod time;
 
 pub use queue::EventQueue;
 pub use rng::SimRng;
-pub use series::{LatencyBreakdown, MeanBreakdown, TimeSeries};
+pub use series::{BatchStats, LatencyBreakdown, MeanBreakdown, TimeSeries};
 pub use time::Tick;

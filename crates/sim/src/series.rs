@@ -194,9 +194,92 @@ impl TimeSeries {
     }
 }
 
+/// Distribution of same-tick event batch sizes: `counts()[s]` is the
+/// number of executor ticks that drained exactly `s` events in one
+/// round. Size 0 is never recorded (a tick only exists because some
+/// event fired at it).
+///
+/// # Example
+///
+/// ```
+/// use cloudqc_sim::series::BatchStats;
+///
+/// let mut b = BatchStats::default();
+/// b.record(1);
+/// b.record(3);
+/// b.record(3);
+/// assert_eq!(b.ticks(), 3);
+/// assert_eq!(b.events(), 7);
+/// assert_eq!(b.max(), 3);
+/// assert!((b.mean() - 7.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    counts: Vec<u64>,
+}
+
+impl BatchStats {
+    /// Records one tick that drained `size` events.
+    pub fn record(&mut self, size: usize) {
+        if size == 0 {
+            return;
+        }
+        if self.counts.len() <= size {
+            self.counts.resize(size + 1, 0);
+        }
+        self.counts[size] += 1;
+    }
+
+    /// Tick count per batch size (index = events drained in that tick).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total ticks recorded.
+    pub fn ticks(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total events across all recorded ticks.
+    pub fn events(&self) -> u64 {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(size, &n)| size as u64 * n)
+            .sum()
+    }
+
+    /// Mean events per tick (0 if nothing was recorded).
+    pub fn mean(&self) -> f64 {
+        let ticks = self.ticks();
+        if ticks == 0 {
+            return 0.0;
+        }
+        self.events() as f64 / ticks as f64
+    }
+
+    /// The largest batch drained in one tick (0 if nothing recorded).
+    pub fn max(&self) -> usize {
+        self.counts.iter().rposition(|&n| n > 0).unwrap_or(0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn batch_stats_ignore_empty_ticks() {
+        let mut b = BatchStats::default();
+        b.record(0);
+        assert_eq!(b.ticks(), 0);
+        assert_eq!(b.max(), 0);
+        assert_eq!(b.mean(), 0.0);
+        b.record(2);
+        b.record(0);
+        assert_eq!(b.counts(), &[0, 0, 1]);
+        assert_eq!(b.events(), 2);
+    }
 
     #[test]
     fn breakdown_totals_and_fractions() {

@@ -4,7 +4,8 @@
 use cloudqc::circuit::Circuit;
 use cloudqc::cloud::{Cloud, CloudBuilder};
 use cloudqc::core::placement::{
-    cost, CloudQcBfsPlacement, CloudQcPlacement, PlacementAlgorithm, RandomPlacement,
+    cost, CloudQcBfsPlacement, CloudQcPlacement, PlacementAlgorithm, PlacementCache,
+    RandomPlacement,
 };
 use cloudqc::core::schedule::{
     AverageScheduler, CloudQcScheduler, GreedyScheduler, RandomScheduler, RemoteDag, Scheduler,
@@ -144,5 +145,75 @@ proptest! {
         let ops = cost::remote_op_count(&circuit, &p) as f64;
         let cost = cost::communication_cost(&circuit, &p, &cloud);
         prop_assert!(cost >= ops);
+    }
+
+    /// A placement-cache hit and a cold run of the algorithm return
+    /// identical placements for the same (fingerprint, free-vector,
+    /// seed) signature — the exactness the runtime's byte-identical
+    /// schedule guarantee rests on.
+    #[test]
+    fn cache_hit_equals_cold_placement(
+        qubits in 4usize..30,
+        gates in 1usize..60,
+        shape in 0u8..3,
+        seed in any::<u64>(),
+    ) {
+        let circuit = random_circuit(qubits, gates, shape, seed);
+        let cloud = small_cloud(seed);
+        let algo = CloudQcPlacement::default();
+        let status = cloud.status();
+        let mut cache = PlacementCache::new();
+        let first = cache.place(&algo, &circuit, &cloud, &status, seed).unwrap();
+        let hit = cache.place(&algo, &circuit, &cloud, &status, seed).unwrap();
+        let cold = algo.place(&circuit, &cloud, &status, seed).unwrap();
+        prop_assert_eq!(cache.stats().hits, 1);
+        prop_assert_eq!(cache.stats().misses, 1);
+        prop_assert_eq!(&first, &hit);
+        prop_assert_eq!(&hit, &cold);
+    }
+
+    /// Under a coarse quantization bucket, capacity drifting *within*
+    /// a bucket reuses cached entries — but a reused placement must
+    /// still fit the actual status: below-threshold capacity changes
+    /// never cause an infeasible reuse.
+    #[test]
+    fn quantized_cache_reuse_stays_feasible(
+        qubits in 4usize..24,
+        gates in 1usize..40,
+        shape in 0u8..3,
+        seed in any::<u64>(),
+        quantum in 2usize..6,
+        steps in 1usize..8,
+    ) {
+        use cloudqc::cloud::QpuId;
+        let circuit = random_circuit(qubits, gates, shape, seed);
+        let cloud = small_cloud(seed);
+        let algo = CloudQcPlacement::default();
+        let mut cache = PlacementCache::with_quantum(quantum);
+        let mut status = cloud.status();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+        for _ in 0..steps {
+            // Random walk over the free-capacity vector, crossing and
+            // staying within quantization buckets alike.
+            for i in 0..cloud.qpu_count() {
+                let qpu = QpuId::new(i);
+                let free = status.free_computing(qpu);
+                let held = status.computing_capacity(qpu) - free;
+                if rng.random_range(0..2) == 0 && free > 0 {
+                    let n = rng.random_range(1..=free.min(quantum));
+                    status.allocate_computing(qpu, n).unwrap();
+                } else if held > 0 {
+                    let n = rng.random_range(1..=held);
+                    status.release_computing(qpu, n);
+                }
+            }
+            if let Ok(p) = cache.place(&algo, &circuit, &cloud, &status, seed) {
+                prop_assert!(
+                    p.fits(&status),
+                    "quantum {} reused an infeasible placement", quantum
+                );
+            }
+        }
+        prop_assert!(cache.stats().hits + cache.stats().misses >= steps as u64);
     }
 }

@@ -12,9 +12,13 @@ use cloudqc::circuit::generators::catalog;
 use cloudqc::circuit::Circuit;
 use cloudqc::cloud::CloudBuilder;
 use cloudqc::core::batch::OrderingPolicy;
-use cloudqc::core::placement::{CloudQcBfsPlacement, CloudQcPlacement};
+use cloudqc::core::placement::PlacementAlgorithm;
+use cloudqc::core::placement::{CloudQcBfsPlacement, CloudQcPlacement, RandomPlacement};
+use cloudqc::core::runtime::{AdmissionPolicy, Orchestrator, RunReport};
 use cloudqc::core::schedule::CloudQcScheduler;
 use cloudqc::core::tenant::{run_incoming, run_multi_tenant};
+use cloudqc::core::workload::Workload;
+use cloudqc::core::Executor;
 use cloudqc::sim::Tick;
 
 fn batch(names: &[&str]) -> Vec<Circuit> {
@@ -145,5 +149,126 @@ fn incoming_mode_reproduces_seed_outcomes() {
             .map(|o| (o.admitted_at.as_ticks(), o.completion_time.as_ticks()))
             .collect();
         assert_eq!(got, records.to_vec(), "incoming mode, seed {seed}");
+    }
+}
+
+/// Everything observable about a run except the new performance
+/// counters (which legitimately differ between the A/B arms).
+fn observable(report: &RunReport) -> impl PartialEq + std::fmt::Debug + '_ {
+    (
+        &report.outcomes,
+        &report.rejected,
+        report.makespan,
+        &report.final_free_computing,
+        &report.final_free_communication,
+    )
+}
+
+/// A contended open-arrival workload of repeated shapes: jobs queue
+/// behind each other, so waiting jobs are re-placed across admission
+/// rounds — the placement cache's hot path.
+fn contended_setup() -> (cloudqc::cloud::Cloud, Workload) {
+    let cloud = CloudBuilder::new(4)
+        .computing_qubits(30)
+        .communication_qubits(3)
+        .ring_topology()
+        .build();
+    let pool = batch(&["ghz_n25", "qft_n29", "ghz_n25", "qugan_n39"]);
+    (cloud, Workload::poisson(&pool, 16, 500.0, 13))
+}
+
+#[test]
+fn cached_and_uncached_placement_are_byte_identical() {
+    // The placement cache (default signature: exact free vector + per
+    // job seed) memoizes a deterministic function, so enabling it must
+    // not move a single tick — under the legacy per-index seeding and
+    // under fingerprint seeding alike.
+    let (cloud, workload) = contended_setup();
+    let placement = CloudQcPlacement::default();
+    for seed in [3u64, 7, 42] {
+        for fingerprint_seeding in [false, true] {
+            let run = |cached: bool| {
+                Orchestrator::new(&cloud, &placement, &CloudQcScheduler, seed)
+                    .with_admission(AdmissionPolicy::Backfill)
+                    .with_fingerprint_seeding(fingerprint_seeding)
+                    .with_placement_cache(cached)
+                    .run(&workload)
+                    .expect("contended run completes")
+            };
+            let cached = run(true);
+            let uncached = run(false);
+            assert_eq!(
+                observable(&cached),
+                observable(&uncached),
+                "seed {seed}, fingerprint_seeding {fingerprint_seeding}"
+            );
+            assert_eq!(cached.outcomes.len(), workload.len());
+            let stats = cached.placement_cache;
+            assert!(stats.misses > 0, "cache was never consulted");
+            assert_eq!(uncached.placement_cache.hits, 0);
+            assert_eq!(uncached.placement_cache.misses, 0);
+            if fingerprint_seeding {
+                // Repeated shapes over a recurring free vector must
+                // actually hit, or the A/B proves nothing.
+                assert!(stats.hits > 0, "no cache hits under fingerprint seeding");
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_and_unbatched_allocation_are_byte_identical_in_runtime() {
+    let (cloud, workload) = contended_setup();
+    let placement = CloudQcPlacement::default();
+    for seed in [5u64, 11] {
+        let run = |batched: bool| {
+            Orchestrator::new(&cloud, &placement, &CloudQcScheduler, seed)
+                .with_batched_allocation(batched)
+                .run(&workload)
+                .expect("contended run completes")
+        };
+        let batched = run(true);
+        let unbatched = run(false);
+        assert_eq!(observable(&batched), observable(&unbatched), "seed {seed}");
+        // Same events, same ticks: the batch distribution is identical
+        // too — only the number of allocation passes differs.
+        assert_eq!(batched.event_batches, unbatched.event_batches);
+    }
+}
+
+#[test]
+fn batched_and_unbatched_allocation_are_byte_identical_in_executor() {
+    // The executor-level A/B, under the bench's contention profile:
+    // scarce pairs, low EPR success, random placements.
+    let cloud = CloudBuilder::new(6)
+        .computing_qubits(40)
+        .communication_qubits(2)
+        .epr_success_prob(0.2)
+        .ring_topology()
+        .build();
+    let jobs = batch(&["qugan_n39", "knn_n67", "adder_n64", "qft_n29"]);
+    let placed: Vec<_> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let p = RandomPlacement
+                .place(c, &cloud, &cloud.status(), i as u64)
+                .expect("placement succeeds");
+            (c, p)
+        })
+        .collect();
+    for seed in [1u64, 9, 27] {
+        let run = |batched: bool| {
+            let mut exec =
+                Executor::new(&cloud, &CloudQcScheduler, seed).with_batched_allocation(batched);
+            let ids: Vec<usize> = placed.iter().map(|(c, p)| exec.add_job(c, p)).collect();
+            exec.run_to_completion();
+            let results: Vec<_> = ids
+                .into_iter()
+                .map(|id| exec.job_result(id).expect("job finished"))
+                .collect();
+            (results, exec.now(), exec.comm_free().to_vec())
+        };
+        assert_eq!(run(true), run(false), "seed {seed}");
     }
 }

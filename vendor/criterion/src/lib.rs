@@ -8,10 +8,49 @@
 //! simple wall-clock harness: warm up briefly, run the configured
 //! number of samples, and print min/median/mean per benchmark.
 //! No plots, no statistics beyond that, no baseline comparison.
+//!
+//! Two environment variables feed the CI bench-regression gate:
+//!
+//! * `BENCH_JSON=<path>` — after every benchmark, (re)write `<path>`
+//!   as a flat JSON object mapping each benchmark id to its minimum
+//!   sample in milliseconds (the most load-stable per-run statistic).
+//! * `BENCH_SAMPLE_SIZE=<n>` — override every benchmark's sample
+//!   count (the CI smoke configuration runs few samples).
 
 #![forbid(unsafe_code)]
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Results accumulated for `BENCH_JSON` across the process (benchmark
+/// id, minimum sample in ms).
+static JSON_RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+fn sample_size_override() -> Option<usize> {
+    std::env::var("BENCH_SAMPLE_SIZE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Rewrites the `BENCH_JSON` file with everything recorded so far, so
+/// an interrupted bench run still leaves a valid (partial) file.
+fn record_json(id: &str, min_ms: f64) {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let mut results = JSON_RESULTS.lock().expect("bench results lock");
+    results.retain(|(name, _)| name != id);
+    results.push((id.to_owned(), min_ms));
+    let body: Vec<String> = results
+        .iter()
+        .map(|(name, ms)| format!("  {:?}: {ms:.3}", name))
+        .collect();
+    let json = format!("{{\n{}\n}}\n", body.join(",\n"));
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("warning: could not write {path}: {e}");
+    }
+}
 
 /// Top-level benchmark driver.
 pub struct Criterion {
@@ -106,7 +145,7 @@ impl Bencher {
 fn run_benchmark(id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
     let mut bencher = Bencher {
         samples: Vec::new(),
-        sample_size,
+        sample_size: sample_size_override().unwrap_or(sample_size),
     };
     f(&mut bencher);
     if bencher.samples.is_empty() {
@@ -125,6 +164,7 @@ fn run_benchmark(id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) 
         mean,
         sorted.len()
     );
+    record_json(id, min.as_secs_f64() * 1_000.0);
 }
 
 /// Re-export point so user code's `use std::hint::black_box` and

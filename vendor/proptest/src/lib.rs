@@ -246,7 +246,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use rand::RngExt;
 
-    /// Admissible length specifications for [`vec`].
+    /// Admissible length specifications for [`vec()`](fn@vec).
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,
