@@ -18,8 +18,14 @@
 //! per-case regressions do. Use it in CI, where runner hardware is
 //! unknown; use the absolute mode on the baseline's own machine,
 //! where it additionally catches uniform slowdowns.
+//!
+//! Normalization needs at least `MIN_NORMALIZE_CASES` (3) cases shared
+//! between baseline and current run: with fewer, the median ratio *is*
+//! whatever regressed, so any slowdown would normalize itself away to
+//! 1.0 and the gate could never fire. Below the minimum the gate warns
+//! and falls back to the absolute comparison.
 
-use cloudqc_bench::results::{compare, parse_results, speed_factor};
+use cloudqc_bench::results::{compare, parse_results, speed_factor, MIN_NORMALIZE_CASES};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -74,10 +80,20 @@ fn main() -> ExitCode {
         threshold * 100.0
     );
     if normalize {
-        let factor = speed_factor(&baseline, &current);
-        println!("machine-speed factor {factor:.3} divided out of the current run");
-        for (_, v) in &mut current {
-            *v /= factor;
+        match speed_factor(&baseline, &current) {
+            Some(factor) => {
+                println!("machine-speed factor {factor:.3} divided out of the current run");
+                for (_, v) in &mut current {
+                    *v /= factor;
+                }
+            }
+            None => {
+                eprintln!(
+                    "warning: fewer than {MIN_NORMALIZE_CASES} cases shared with the \
+                     baseline; a median over so few would absorb the very regressions \
+                     the gate watches for — gating absolute values instead"
+                );
+            }
         }
     }
     let verdicts = compare(&baseline, &current, threshold);

@@ -87,21 +87,39 @@ fn snippet(s: &str) -> String {
     s.chars().take(20).collect()
 }
 
+/// Minimum shared cases for [`speed_factor`] to produce a
+/// machine-speed estimate.
+///
+/// The median-ratio normalization assumes the *majority* of cases did
+/// not regress, so the median tracks hardware speed rather than real
+/// slowdowns. With one shared case the "median" **is** that case's
+/// ratio: any regression divides itself out to exactly 1.0 and the
+/// gate can never fire. Two cases are no better — the midpoint of two
+/// ratios still absorbs half of any single regression and all of a
+/// correlated one. Three is the smallest count where a lone regressed
+/// case cannot move the median at all.
+pub const MIN_NORMALIZE_CASES: usize = 3;
+
 /// The machine-speed factor between a current run and the baseline:
 /// the median `current / baseline` ratio over shared cases with a
-/// positive baseline (1.0 when there is none). Dividing every current
-/// value by this factor centres the typical case on its baseline, so
-/// a subsequent [`compare`] tracks *per-case relative* regressions
-/// instead of the hardware difference between the CI runner and the
-/// machine that recorded the baseline. The median makes the factor
-/// robust both to per-case noise and to a minority of genuinely
-/// regressed cases.
+/// positive baseline. Dividing every current value by this factor
+/// centres the typical case on its baseline, so a subsequent
+/// [`compare`] tracks *per-case relative* regressions instead of the
+/// hardware difference between the CI runner and the machine that
+/// recorded the baseline. The median makes the factor robust both to
+/// per-case noise and to a minority of genuinely regressed cases.
+///
+/// Returns `None` when fewer than [`MIN_NORMALIZE_CASES`] shared cases
+/// exist: with so few, the median *is* (or is dominated by) whatever
+/// regressed, and normalizing would cancel the very signal the gate
+/// exists to catch — callers must fall back to the absolute
+/// comparison.
 ///
 /// The assumption is that at most half the cases regressed: a uniform
 /// slowdown across every case is absorbed into the factor and
 /// invisible to the normalized gate — run the absolute gate on stable
 /// hardware to catch those.
-pub fn speed_factor(baseline: &[(String, f64)], current: &[(String, f64)]) -> f64 {
+pub fn speed_factor(baseline: &[(String, f64)], current: &[(String, f64)]) -> Option<f64> {
     let mut ratios: Vec<f64> = baseline
         .iter()
         .filter(|(_, base)| *base > 0.0)
@@ -112,8 +130,8 @@ pub fn speed_factor(baseline: &[(String, f64)], current: &[(String, f64)]) -> f6
                 .map(|(_, v)| v / base)
         })
         .collect();
-    if ratios.is_empty() {
-        return 1.0;
+    if ratios.len() < MIN_NORMALIZE_CASES {
+        return None;
     }
     ratios.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
     let mid = ratios.len() / 2;
@@ -123,9 +141,9 @@ pub fn speed_factor(baseline: &[(String, f64)], current: &[(String, f64)]) -> f6
         (ratios[mid - 1] + ratios[mid]) / 2.0
     };
     if median.is_finite() && median > 0.0 {
-        median
+        Some(median)
     } else {
-        1.0
+        Some(1.0)
     }
 }
 
@@ -281,7 +299,7 @@ mod tests {
         // real regression.
         let baseline = cases(&[("a", 10.0), ("b", 20.0), ("c", 30.0)]);
         let current = cases(&[("a", 15.0), ("b", 30.0), ("c", 90.0)]);
-        let factor = speed_factor(&baseline, &current);
+        let factor = speed_factor(&baseline, &current).expect("three shared cases");
         assert!((factor - 1.5).abs() < 1e-12);
         let normalized: Vec<(String, f64)> = current
             .iter()
@@ -297,15 +315,39 @@ mod tests {
     }
 
     #[test]
-    fn speed_factor_degenerate_inputs_are_neutral() {
-        assert_eq!(speed_factor(&[], &[]), 1.0);
+    fn speed_factor_requires_three_shared_cases() {
+        // The single-case trap this guards against: a 30% regression's
+        // own ratio was the "median", so normalizing divided the
+        // regression out to exactly 1.0 and the gate could never fire.
+        let baseline = cases(&[("a", 100.0)]);
+        let current = cases(&[("a", 130.0)]);
+        assert_eq!(speed_factor(&baseline, &current), None);
+        // The absolute fallback catches what normalization would hide.
+        assert!(compare(&baseline, &current, 0.20)[0].failed);
+
+        // Two shared cases still under-determine the median.
+        let baseline = cases(&[("a", 100.0), ("b", 50.0)]);
+        let current = cases(&[("a", 130.0), ("b", 50.0)]);
+        assert_eq!(speed_factor(&baseline, &current), None);
+
+        // Three baseline cases but only two measured: still refused —
+        // what matters is the *shared* count.
+        let baseline = cases(&[("a", 100.0), ("b", 50.0), ("c", 10.0)]);
+        let current = cases(&[("a", 130.0), ("b", 50.0)]);
+        assert_eq!(speed_factor(&baseline, &current), None);
+    }
+
+    #[test]
+    fn speed_factor_degenerate_inputs_refuse_to_normalize() {
+        assert_eq!(speed_factor(&[], &[]), None);
         assert_eq!(
             speed_factor(&cases(&[("a", 10.0)]), &cases(&[("b", 5.0)])),
-            1.0
+            None
         );
+        // Zero-baseline cases contribute no ratio.
         assert_eq!(
             speed_factor(&cases(&[("a", 0.0)]), &cases(&[("a", 5.0)])),
-            1.0
+            None
         );
     }
 }

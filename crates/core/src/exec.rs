@@ -49,6 +49,38 @@
 //! [`Executor::with_batched_allocation`] turns the elision off for
 //! A/B comparison. The per-tick batch-size distribution is tracked in
 //! [`Executor::batch_stats`].
+//!
+//! ## The sharded front layer
+//!
+//! With a pure scheduler the front layer goes one step further: it is
+//! *sharded per QPU pair*. Requests live in one sorted list per
+//! unordered communication edge `(a, b)`, and a *dirty-shard set*
+//! tracks which shards an event round actually affected — a shard is
+//! dirtied when a request enters or leaves it, or when the free
+//! communication count of either endpoint QPU changes. An allocation
+//! round hands only the dirty shards to the scheduler
+//! ([`Scheduler::allocate_sharded`]) and then marks every visited
+//! shard clean unless the round's own grants re-dirtied it, so
+//! allocation cost scales with the requests *affected* by a tick
+//! instead of with every pending request.
+//!
+//! Skipping clean shards is exact, not approximate: a shard can only
+//! settle clean when a pass granted it nothing while no grant touched
+//! its endpoints — which (for schedulers with a starvation-freedom
+//! floor or max-grant per request, i.e. every pure scheduler here)
+//! means one of its endpoints has **zero** free communication qubits.
+//! Until that capacity changes (which re-dirties the shard), a valid
+//! scheduler cannot allocate the shard anything, and its zero-granted
+//! requests do not perturb the grants of the other shards. Sharded and
+//! global front layers therefore produce byte-identical seeded
+//! schedules (pinned in `tests/runtime_golden.rs`, property-tested in
+//! `tests/properties.rs`); [`Executor::with_sharded_front_layer`]
+//! disables sharding for A/B comparison. Non-pure schedulers, the
+//! unbatched mode, and path reservation (whose swapping-station holds
+//! couple shards through *intermediate* QPUs) keep the global layer.
+//! Per-run pass/shard/request counters are reported in
+//! [`Executor::alloc_stats`] and surfaced in
+//! [`crate::runtime::RunReport`].
 
 use crate::error::ExecError;
 use crate::placement::Placement;
@@ -58,6 +90,7 @@ use cloudqc_circuit::{Circuit, GateKind};
 use cloudqc_cloud::{Cloud, QpuId};
 use cloudqc_sim::{BatchStats, EventQueue, SimRng, Tick};
 use rand::rngs::StdRng;
+use std::collections::HashMap;
 
 use crate::schedule::priority::priorities;
 use crate::schedule::RemoteDag;
@@ -81,6 +114,165 @@ pub struct JobResult {
     pub epr_wait: u64,
 }
 
+/// Per-run allocation-pass counters (surfaced in
+/// [`crate::runtime::RunReport`]): how much front-layer work the
+/// scheduler actually did.
+///
+/// With the sharded front layer, `shards_visited` and
+/// `requests_scanned` count only the *dirty* shards each pass handed
+/// to the scheduler; with the global layer every pass counts as one
+/// shard covering the whole front layer. Comparing
+/// `requests_scanned / rounds` between the two modes prices the
+/// sharding win.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Allocation passes that actually invoked the scheduler (elided
+    /// and empty-front passes are not counted).
+    pub rounds: u64,
+    /// Front-layer shards handed to the scheduler, summed over all
+    /// rounds (global mode: 1 per round).
+    pub shards_visited: u64,
+    /// Requests handed to the scheduler, summed over all rounds.
+    pub requests_scanned: u64,
+}
+
+impl AllocStats {
+    /// Mean requests scanned per allocation round (0 for no rounds).
+    pub fn mean_scan(&self) -> f64 {
+        if self.rounds == 0 {
+            return 0.0;
+        }
+        self.requests_scanned as f64 / self.rounds as f64
+    }
+}
+
+/// One front-layer shard: the pending requests over a single unordered
+/// QPU pair, kept in the same (priority desc, key asc) order as the
+/// global layer.
+struct Shard {
+    /// The unordered communication edge (lower QPU first).
+    pair: (QpuId, QpuId),
+    requests: Vec<RemoteRequest>,
+    /// Whether the shard is already queued in `ShardedFront::dirty`.
+    dirty: bool,
+}
+
+/// The per-QPU-pair sharded front layer (see the module docs): one
+/// sorted request list per communication edge plus the dirty-shard set
+/// that drives change-driven allocation rounds.
+struct ShardedFront {
+    /// Unordered endpoint pair → shard index. Lookup only — iteration
+    /// order is never observed, so the map cannot perturb determinism.
+    by_pair: HashMap<(QpuId, QpuId), usize>,
+    shards: Vec<Shard>,
+    /// Shard indices incident to each QPU (each shard appears in
+    /// exactly its two endpoints' lists).
+    by_qpu: Vec<Vec<usize>>,
+    /// Dirty shard indices, deduplicated via [`Shard::dirty`].
+    dirty: Vec<usize>,
+    /// Total pending requests across all shards.
+    len: usize,
+}
+
+impl ShardedFront {
+    fn new(qpu_count: usize) -> Self {
+        ShardedFront {
+            by_pair: HashMap::new(),
+            shards: Vec::new(),
+            by_qpu: vec![Vec::new(); qpu_count],
+            dirty: Vec::new(),
+            len: 0,
+        }
+    }
+
+    fn pair(a: QpuId, b: QpuId) -> (QpuId, QpuId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    fn mark_dirty(&mut self, shard: usize) {
+        if !self.shards[shard].dirty {
+            self.shards[shard].dirty = true;
+            self.dirty.push(shard);
+        }
+    }
+
+    /// QPU `q`'s free communication count changed: every incident shard
+    /// must be revisited next round.
+    fn touch_qpu(&mut self, q: usize) {
+        for i in 0..self.by_qpu[q].len() {
+            let shard = self.by_qpu[q][i];
+            self.mark_dirty(shard);
+        }
+    }
+
+    /// The shard for edge `(a, b)`, created (and registered with both
+    /// endpoints) on first use. Shards persist once created — an empty
+    /// shard costs one skipped slice in a dirty round.
+    fn shard_for(&mut self, a: QpuId, b: QpuId) -> usize {
+        let pair = Self::pair(a, b);
+        if let Some(&shard) = self.by_pair.get(&pair) {
+            return shard;
+        }
+        let shard = self.shards.len();
+        self.shards.push(Shard {
+            pair,
+            requests: Vec::new(),
+            dirty: false,
+        });
+        self.by_pair.insert(pair, shard);
+        self.by_qpu[pair.0.index()].push(shard);
+        if pair.1 != pair.0 {
+            self.by_qpu[pair.1.index()].push(shard);
+        }
+        shard
+    }
+
+    /// Inserts into `shard` (the request's admission-resolved shard).
+    fn insert(&mut self, shard: usize, req: RemoteRequest) {
+        let requests = &mut self.shards[shard].requests;
+        let pos = requests
+            .binary_search_by(|r| request_order(r, req.priority, req.key))
+            .expect_err("request keys are unique while pending");
+        requests.insert(pos, req);
+        self.len += 1;
+        self.mark_dirty(shard);
+    }
+
+    /// Removes from `shard` (the request's admission-resolved shard).
+    fn remove(&mut self, shard: usize, priority: usize, key: u64) {
+        let requests = &mut self.shards[shard].requests;
+        let pos = requests
+            .binary_search_by(|r| request_order(r, priority, key))
+            .expect("allocated request was pending");
+        requests.remove(pos);
+        self.len -= 1;
+        self.mark_dirty(shard);
+    }
+}
+
+/// The allocation front layer: global (one sorted request vector — the
+/// pre-sharding representation, still used for non-pure schedulers,
+/// the unbatched A/B mode, and path reservation) or sharded per QPU
+/// pair.
+enum FrontLayer {
+    Global(Vec<RemoteRequest>),
+    Sharded(ShardedFront),
+}
+
+impl FrontLayer {
+    /// Pending requests across the whole layer.
+    fn len(&self) -> usize {
+        match self {
+            FrontLayer::Global(requests) => requests.len(),
+            FrontLayer::Sharded(front) => front.len,
+        }
+    }
+}
+
 #[derive(Debug)]
 enum Event {
     /// A (local or completed-remote) gate finished.
@@ -102,6 +294,10 @@ struct JobState {
     /// of the Fig. 4 "Selected paths"); resolved once at admission and
     /// only populated in path-reservation mode.
     stations: Vec<Vec<usize>>,
+    /// Front-layer shard index per remote node; resolved once at
+    /// admission (sharded mode only) so re-inserts after a failed EPR
+    /// round skip the pair→shard map lookup.
+    shard_ids: Vec<usize>,
     started_at: Tick,
     finished_at: Option<Tick>,
     epr_rounds: u64,
@@ -130,11 +326,19 @@ pub struct Executor<'a> {
     unfinished: usize,
     path_reservation: bool,
     /// The allocation front layer: one request per pending remote gate,
-    /// kept sorted by (priority desc, key asc) — the priority-aware
-    /// schedulers' own order (maintained incrementally).
-    requests: Vec<RemoteRequest>,
+    /// kept in (priority desc, key asc) order — globally, or within
+    /// per-QPU-pair shards (see the module docs).
+    front: FrontLayer,
+    /// Per-QPU-pair sharding enabled (see
+    /// [`Executor::with_sharded_front_layer`]); only effective when the
+    /// scheduler is pure, allocation is batched, and path reservation
+    /// is off.
+    sharded_front: bool,
     /// Reused buffer for the path-reservation round filter.
     round_scratch: Vec<RemoteRequest>,
+    /// Reused buffer the sharded pass swaps with the dirty list, so
+    /// taking the round's dirty shards allocates nothing.
+    visited_scratch: Vec<usize>,
     /// Jobs finished since the last drain, in completion-event order.
     newly_finished: Vec<usize>,
     /// Change-driven allocation elision enabled (see
@@ -145,16 +349,19 @@ pub struct Executor<'a> {
     scheduler_pure: bool,
     /// True when the last allocation pass ran on the current front
     /// layer and capacities and granted nothing: until something
-    /// changes, a pure scheduler would grant nothing again.
+    /// changes, a pure scheduler would grant nothing again. (Global
+    /// layer only — the sharded layer's dirty set subsumes it.)
     front_settled: bool,
     /// Events drained per tick (same-tick batch sizes).
     batch_stats: BatchStats,
+    /// Allocation-pass work counters.
+    alloc_stats: AllocStats,
 }
 
 impl<'a> Executor<'a> {
     /// Creates an idle executor.
     pub fn new(cloud: &'a Cloud, scheduler: &'a dyn Scheduler, seed: u64) -> Self {
-        Executor {
+        let mut exec = Executor {
             cloud,
             scheduler,
             rng: SimRng::new(seed).fork("executor").into_std(),
@@ -166,14 +373,35 @@ impl<'a> Executor<'a> {
             now: Tick::ZERO,
             unfinished: 0,
             path_reservation: false,
-            requests: Vec::new(),
+            front: FrontLayer::Global(Vec::new()),
+            sharded_front: true,
             round_scratch: Vec::new(),
+            visited_scratch: Vec::new(),
             newly_finished: Vec::new(),
             batched_allocation: true,
             scheduler_pure: scheduler.is_pure(),
             front_settled: false,
             batch_stats: BatchStats::default(),
-        }
+            alloc_stats: AllocStats::default(),
+        };
+        exec.rebuild_front();
+        exec
+    }
+
+    /// (Re)chooses the front-layer representation from the current mode
+    /// flags. Only legal before jobs are admitted (the builders assert
+    /// that), when the layer is empty either way.
+    fn rebuild_front(&mut self) {
+        debug_assert!(self.jobs.is_empty(), "front layer is fixed at admission");
+        let sharded = self.sharded_front
+            && self.scheduler_pure
+            && self.batched_allocation
+            && !self.path_reservation;
+        self.front = if sharded {
+            FrontLayer::Sharded(ShardedFront::new(self.cloud.qpu_count()))
+        } else {
+            FrontLayer::Global(Vec::new())
+        };
     }
 
     /// Enables *path reservation*: a multi-hop remote gate also holds
@@ -192,6 +420,7 @@ impl<'a> Executor<'a> {
             "path reservation must be set before admitting jobs"
         );
         self.path_reservation = enabled;
+        self.rebuild_front();
         self
     }
 
@@ -212,6 +441,29 @@ impl<'a> Executor<'a> {
             "batched allocation must be set before admitting jobs"
         );
         self.batched_allocation = enabled;
+        self.rebuild_front();
+        self
+    }
+
+    /// Enables or disables the per-QPU-pair sharded front layer (on by
+    /// default; see the module docs). Sharding only takes effect when
+    /// the scheduler is pure, allocation is batched, and path
+    /// reservation is off — otherwise the global layer is used
+    /// regardless. Sharded and global runs produce byte-identical
+    /// seeded schedules; disabling is for A/B comparison (and the
+    /// `sharded_front_layer` bench).
+    ///
+    /// # Panics
+    ///
+    /// Panics if jobs were already admitted (the mode must be fixed
+    /// up front).
+    pub fn with_sharded_front_layer(mut self, enabled: bool) -> Self {
+        assert!(
+            self.jobs.is_empty(),
+            "front-layer sharding must be set before admitting jobs"
+        );
+        self.sharded_front = enabled;
+        self.rebuild_front();
         self
     }
 
@@ -237,6 +489,13 @@ impl<'a> Executor<'a> {
     /// at that tick.
     pub fn batch_stats(&self) -> &BatchStats {
         &self.batch_stats
+    }
+
+    /// Allocation-pass work counters so far: scheduler rounds run,
+    /// shards handed to the scheduler, and requests scanned across
+    /// them (see [`AllocStats`]).
+    pub fn alloc_stats(&self) -> AllocStats {
+        self.alloc_stats
     }
 
     /// Admits a job at the current simulated time, or explains why its
@@ -299,12 +558,24 @@ impl<'a> Executor<'a> {
         let tracker = FrontTracker::new(&dag);
         let id = self.jobs.len();
         let initially_ready: Vec<usize> = tracker.ready().to_vec();
+        // Resolve each remote gate's shard once, so the hot-path
+        // insert/remove skip the pair→shard map.
+        let shard_ids: Vec<usize> = match &mut self.front {
+            FrontLayer::Sharded(front) => (0..remote.node_count())
+                .map(|n| {
+                    let (a, b) = remote.endpoints(n);
+                    front.shard_for(a, b)
+                })
+                .collect(),
+            FrontLayer::Global(_) => Vec::new(),
+        };
         self.jobs.push(JobState {
             tracker,
             remote,
             priorities: prio,
             remaining_hops,
             stations,
+            shard_ids,
             started_at: self.now,
             finished_at: None,
             epr_rounds: 0,
@@ -363,9 +634,9 @@ impl<'a> Executor<'a> {
     }
 
     /// Adds the request for remote gate `node` of `job` to the front
-    /// layer, keeping the set sorted by (priority desc, key asc) — the
+    /// layer, keeping its list sorted by (priority desc, key asc) — the
     /// order the priority-aware schedulers sort into, so their sorts
-    /// hit the pre-sorted fast path.
+    /// hit the pre-sorted fast path (and the sharded merge applies).
     fn insert_request(&mut self, job: usize, node: usize) {
         let state = &self.jobs[job];
         let (a, b) = state.remote.endpoints(node);
@@ -375,34 +646,67 @@ impl<'a> Executor<'a> {
             b,
             priority: state.priorities[node],
         };
-        let pos = self
-            .requests
-            .binary_search_by(|r| request_order(r, req.priority, req.key))
-            .expect_err("request keys are unique while pending");
-        self.requests.insert(pos, req);
-        self.front_settled = false;
+        match &mut self.front {
+            FrontLayer::Global(requests) => {
+                let pos = requests
+                    .binary_search_by(|r| request_order(r, req.priority, req.key))
+                    .expect_err("request keys are unique while pending");
+                requests.insert(pos, req);
+                self.front_settled = false;
+            }
+            FrontLayer::Sharded(front) => front.insert(state.shard_ids[node], req),
+        }
     }
 
     /// Removes a request from the front layer (its round started).
     fn remove_request(&mut self, key: u64) {
         let (job, node) = decode_key(key);
         let priority = self.jobs[job].priorities[node];
-        let pos = self
-            .requests
-            .binary_search_by(|r| request_order(r, priority, key))
-            .expect("allocated request was pending");
-        self.requests.remove(pos);
-        self.front_settled = false;
+        match &mut self.front {
+            FrontLayer::Global(requests) => {
+                let pos = requests
+                    .binary_search_by(|r| request_order(r, priority, key))
+                    .expect("allocated request was pending");
+                requests.remove(pos);
+                self.front_settled = false;
+            }
+            FrontLayer::Sharded(front) => {
+                front.remove(self.jobs[job].shard_ids[node], priority, key);
+            }
+        }
     }
 
-    /// Runs the network scheduler over all pending remote gates.
+    /// Records that QPU `q`'s free communication count changed: wakes
+    /// the global layer's elision flag, or dirties the shards incident
+    /// to `q`.
+    fn note_capacity_change(&mut self, q: QpuId) {
+        match &mut self.front {
+            FrontLayer::Global(_) => self.front_settled = false,
+            FrontLayer::Sharded(front) => front.touch_qpu(q.index()),
+        }
+    }
+
+    /// Runs the network scheduler over the pending remote gates.
     ///
     /// Change-driven elision: with a pure scheduler, a pass whose
     /// inputs (front layer + free communication qubits) are unchanged
     /// since a pass that granted nothing is skipped — it would grant
-    /// nothing again.
+    /// nothing again. The sharded layer refines this per shard: only
+    /// the dirty shards are handed to the scheduler at all.
     fn try_allocate(&mut self) {
-        if self.requests.is_empty() {
+        match self.front {
+            FrontLayer::Global(_) => self.try_allocate_global(),
+            FrontLayer::Sharded(_) => self.try_allocate_sharded(),
+        }
+    }
+
+    /// The global-layer pass: the whole front layer in one scheduler
+    /// call, elided outright while it is settled.
+    fn try_allocate_global(&mut self) {
+        let FrontLayer::Global(requests) = &self.front else {
+            unreachable!("global pass on a sharded front layer")
+        };
+        if requests.is_empty() {
             return;
         }
         if self.batched_allocation && self.scheduler_pure && self.front_settled {
@@ -416,7 +720,7 @@ impl<'a> Executor<'a> {
             let comm_free = &self.comm_free;
             self.round_scratch.clear();
             self.round_scratch.extend(
-                self.requests
+                requests
                     .iter()
                     .filter(|r| {
                         let (job, node) = decode_key(r.key);
@@ -428,6 +732,9 @@ impl<'a> Executor<'a> {
                 self.front_settled = true;
                 return;
             }
+            self.alloc_stats.rounds += 1;
+            self.alloc_stats.shards_visited += 1;
+            self.alloc_stats.requests_scanned += self.round_scratch.len() as u64;
             let allocations =
                 scheduler.allocate(&self.round_scratch, &self.comm_free, &mut self.rng);
             debug_assert!(
@@ -438,12 +745,15 @@ impl<'a> Executor<'a> {
             );
             allocations
         } else {
-            let allocations = scheduler.allocate(&self.requests, &self.comm_free, &mut self.rng);
+            self.alloc_stats.rounds += 1;
+            self.alloc_stats.shards_visited += 1;
+            self.alloc_stats.requests_scanned += requests.len() as u64;
+            let allocations = scheduler.allocate(requests, &self.comm_free, &mut self.rng);
             debug_assert!(
-                validate_allocations(&self.requests, &self.comm_free, &allocations).is_ok(),
+                validate_allocations(requests, &self.comm_free, &allocations).is_ok(),
                 "scheduler {} violated its contract: {:?}",
                 scheduler.name(),
-                validate_allocations(&self.requests, &self.comm_free, &allocations)
+                validate_allocations(requests, &self.comm_free, &allocations)
             );
             allocations
         };
@@ -493,6 +803,106 @@ impl<'a> Executor<'a> {
         self.front_settled = !granted;
     }
 
+    /// The sharded pass: only the dirty shards reach the scheduler.
+    /// Every visited shard settles clean unless this round's grants (or
+    /// later events) re-dirty it — the per-shard refinement of the
+    /// barren-round elision (see the module docs for why skipping clean
+    /// shards is exact).
+    fn try_allocate_sharded(&mut self) {
+        let visited = {
+            let FrontLayer::Sharded(front) = &mut self.front else {
+                unreachable!("sharded pass on a global front layer")
+            };
+            if front.dirty.is_empty() {
+                return;
+            }
+            // Ping-pong with the scratch buffer (emptied at the end of
+            // the previous pass) so neither list reallocates per round.
+            debug_assert!(self.visited_scratch.is_empty());
+            let visited =
+                std::mem::replace(&mut front.dirty, std::mem::take(&mut self.visited_scratch));
+            for &shard in &visited {
+                front.shards[shard].dirty = false;
+            }
+            visited
+        };
+        let allocations = {
+            let FrontLayer::Sharded(front) = &self.front else {
+                unreachable!("sharded pass on a global front layer")
+            };
+            let comm_free = &self.comm_free;
+            let shards: Vec<&[RemoteRequest]> = visited
+                .iter()
+                .map(|&shard| &front.shards[shard])
+                .filter(|shard| {
+                    // A shard with an endpoint at zero free capacity
+                    // cannot receive a grant from any valid scheduler,
+                    // and its zero-granted requests would not perturb
+                    // the others — skip it before the merge. It
+                    // settles clean like any barren visit and is
+                    // re-dirtied the moment that endpoint frees.
+                    !shard.requests.is_empty()
+                        && comm_free[shard.pair.0.index()] > 0
+                        && comm_free[shard.pair.1.index()] > 0
+                })
+                .map(|shard| shard.requests.as_slice())
+                .collect();
+            if shards.is_empty() {
+                // Every visited shard drained or starved: settled.
+                Vec::new()
+            } else {
+                self.alloc_stats.rounds += 1;
+                self.alloc_stats.shards_visited += shards.len() as u64;
+                self.alloc_stats.requests_scanned +=
+                    shards.iter().map(|s| s.len() as u64).sum::<u64>();
+                let allocations =
+                    self.scheduler
+                        .allocate_sharded(&shards, &self.comm_free, &mut self.rng);
+                #[cfg(debug_assertions)]
+                {
+                    let flat: Vec<RemoteRequest> =
+                        shards.iter().flat_map(|s| s.iter().copied()).collect();
+                    debug_assert!(
+                        validate_allocations(&flat, &self.comm_free, &allocations).is_ok(),
+                        "scheduler {} violated its contract: {:?}",
+                        self.scheduler.name(),
+                        validate_allocations(&flat, &self.comm_free, &allocations)
+                    );
+                }
+                allocations
+            }
+        };
+        let epr_latency = self.cloud.latency().epr_attempt();
+        for alloc in allocations {
+            let (job, node) = decode_key(alloc.key);
+            let (a, b) = self.jobs[job].remote.endpoints(node);
+            self.comm_free[a.index()] -= alloc.pairs;
+            self.comm_free[b.index()] -= alloc.pairs;
+            self.remove_request(alloc.key);
+            // The grant changed both endpoints' capacities: their
+            // incident shards must be revisited next round.
+            self.note_capacity_change(a);
+            self.note_capacity_change(b);
+            let state = &mut self.jobs[job];
+            state.epr_rounds += 1;
+            if state.active_rounds == 0 {
+                state.epr_busy_since = self.now;
+            }
+            state.active_rounds += 1;
+            self.queue.push(
+                self.now + epr_latency,
+                Event::RoundDone {
+                    job,
+                    node,
+                    pairs: alloc.pairs,
+                },
+            );
+        }
+        let mut visited = visited;
+        visited.clear();
+        self.visited_scratch = visited;
+    }
+
     fn handle(&mut self, event: Event) {
         match event {
             Event::GateDone { job, gate } => {
@@ -513,8 +923,12 @@ impl<'a> Executor<'a> {
                         self.comm_free[q] += 1;
                     }
                 }
-                // Freed capacity may unblock pending requests.
-                self.front_settled = false;
+                // Freed capacity may unblock pending requests at
+                // either endpoint (stations only exist in
+                // path-reservation mode, which uses the global layer —
+                // its settled flag is already woken by these calls).
+                self.note_capacity_change(a);
+                self.note_capacity_change(b);
                 {
                     let state = &mut self.jobs[job];
                     state.active_rounds -= 1;
@@ -555,7 +969,7 @@ impl<'a> Executor<'a> {
     /// allocated (zero-capacity endpoints).
     pub fn step(&mut self) -> bool {
         let Some(t) = self.queue.peek_time() else {
-            let stuck = self.requests.len();
+            let stuck = self.front.len();
             assert!(
                 stuck == 0,
                 "executor deadlock: {stuck} remote gates pending with no events in flight"

@@ -58,6 +58,6 @@ pub mod tenant;
 pub mod workload;
 
 pub use error::{ExecError, PlacementError};
-pub use exec::{simulate_job, Executor, JobResult};
+pub use exec::{simulate_job, AllocStats, Executor, JobResult};
 pub use runtime::{JobRecord, Orchestrator, RunReport};
 pub use workload::Workload;

@@ -29,6 +29,14 @@
 //! can shift schedules (never correctness — see below) and is why
 //! coarse quanta are opt-in.
 //!
+//! The cache is **bounded**: entries are held in least-recently-used
+//! order and capped at [`PlacementCache::with_capacity`] (default
+//! [`PlacementCache::DEFAULT_CAPACITY`]), so a long-lived service
+//! facing an unbounded stream of distinct signatures evicts cold
+//! entries instead of leaking memory. Evictions never affect
+//! correctness — a re-lookup of an evicted signature recomputes the
+//! same pure function — and are counted in [`CacheStats::evictions`].
+//!
 //! Feasibility is never compromised: a cached placement is only reused
 //! after [`Placement::fits`] re-validates it against the *actual*
 //! status; a stale entry is recomputed and replaced. Capacity changes
@@ -41,8 +49,8 @@ use cloudqc_circuit::{Circuit, Fingerprint};
 use cloudqc_cloud::{Cloud, CloudStatus, QpuId};
 use std::collections::HashMap;
 
-/// Hit/miss counters of a [`PlacementCache`] (surfaced per run in
-/// [`crate::runtime::RunReport`]).
+/// Hit/miss/eviction counters of a [`PlacementCache`] (surfaced per run
+/// in [`crate::runtime::RunReport`]).
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
@@ -50,6 +58,8 @@ pub struct CacheStats {
     /// Lookups that ran the placement algorithm (including
     /// re-validations that found a stale entry).
     pub misses: u64,
+    /// Entries dropped to keep the cache within its capacity.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -71,7 +81,20 @@ struct CacheKey {
     seed: u64,
 }
 
-/// A memo table over [`PlacementAlgorithm::place`] calls.
+/// Sentinel for "no slot" in the intrusive LRU list.
+const NONE: usize = usize::MAX;
+
+/// One memoized outcome, threaded into the recency list.
+#[derive(Clone)]
+struct Slot {
+    key: CacheKey,
+    value: Result<Placement, PlacementError>,
+    prev: usize,
+    next: usize,
+}
+
+/// A bounded, LRU-evicting memo table over
+/// [`PlacementAlgorithm::place`] calls.
 ///
 /// # Example
 ///
@@ -90,24 +113,48 @@ struct CacheKey {
 /// assert_eq!(cache.stats().hits, 1);
 /// assert_eq!(cache.stats().misses, 1);
 /// ```
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct PlacementCache {
     quantum: usize,
-    entries: HashMap<CacheKey, Result<Placement, PlacementError>>,
+    capacity: usize,
+    /// Signature → slot index. Lookup only — iteration order is never
+    /// observed, so the map cannot perturb determinism.
+    map: HashMap<CacheKey, usize>,
+    slots: Vec<Slot>,
+    /// Reusable slot indices freed by capacity shrinks.
+    free: Vec<usize>,
+    /// Most-recently-used slot (`NONE` when empty).
+    head: usize,
+    /// Least-recently-used slot (`NONE` when empty) — the eviction
+    /// victim.
+    tail: usize,
     stats: CacheStats,
     /// (algorithm name, QPU count) of the first lookup — the
     /// one-algorithm-one-cloud contract, enforced in debug builds.
     bound_to: Option<(&'static str, usize)>,
 }
 
+impl Default for PlacementCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl PlacementCache {
-    /// An empty cache with the exact (quantum 1) signature.
+    /// Default entry cap: plenty for the recurring signatures of
+    /// steady-state traffic (shapes × nearby free vectors × seeds),
+    /// small enough that a service facing millions of distinct
+    /// signatures stays bounded.
+    pub const DEFAULT_CAPACITY: usize = 8192;
+
+    /// An empty cache with the exact (quantum 1) signature and the
+    /// default capacity.
     pub fn new() -> Self {
         Self::with_quantum(1)
     }
 
     /// An empty cache whose free-capacity signature buckets each QPU's
-    /// free qubits by `quantum` (1 = exact).
+    /// free qubits by `quantum` (1 = exact), with the default capacity.
     ///
     /// # Panics
     ///
@@ -116,10 +163,32 @@ impl PlacementCache {
         assert!(quantum > 0, "quantization bucket must be positive");
         PlacementCache {
             quantum,
-            entries: HashMap::new(),
+            capacity: Self::DEFAULT_CAPACITY,
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NONE,
+            tail: NONE,
             stats: CacheStats::default(),
             bound_to: None,
         }
+    }
+
+    /// Caps the cache at `capacity` entries, evicting
+    /// least-recently-used entries first once full (and immediately, if
+    /// the cache already holds more).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        self.capacity = capacity;
+        while self.map.len() > self.capacity {
+            let slot = self.evict_lru();
+            self.free.push(slot);
+        }
+        self
     }
 
     /// The free-capacity bucket size of this cache's signature.
@@ -127,25 +196,119 @@ impl PlacementCache {
         self.quantum
     }
 
-    /// Hit/miss counters so far.
+    /// The entry cap.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Hit/miss/eviction counters so far.
     pub fn stats(&self) -> CacheStats {
         self.stats
     }
 
     /// Number of memoized (signature → outcome) entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.map.len()
     }
 
     /// Whether the cache holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.map.is_empty()
     }
 
     fn free_signature(&self, status: &CloudStatus) -> Vec<usize> {
         (0..status.qpu_count())
             .map(|i| status.free_computing(QpuId::new(i)) / self.quantum)
             .collect()
+    }
+
+    /// Detaches `slot` from the recency list.
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev == NONE {
+            self.head = next;
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NONE {
+            self.tail = prev;
+        } else {
+            self.slots[next].prev = prev;
+        }
+        self.slots[slot].prev = NONE;
+        self.slots[slot].next = NONE;
+    }
+
+    /// Prepends `slot` as the most-recently-used entry.
+    fn push_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NONE;
+        self.slots[slot].next = self.head;
+        if self.head != NONE {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NONE {
+            self.tail = slot;
+        }
+    }
+
+    /// Marks `slot` as just-used.
+    fn touch(&mut self, slot: usize) {
+        if self.head != slot {
+            self.unlink(slot);
+            self.push_front(slot);
+        }
+    }
+
+    /// Drops the least-recently-used entry; returns its (now unlinked,
+    /// unmapped) slot index for reuse.
+    fn evict_lru(&mut self) -> usize {
+        let slot = self.tail;
+        debug_assert_ne!(slot, NONE, "evicting from an empty cache");
+        self.unlink(slot);
+        self.map.remove(&self.slots[slot].key);
+        self.stats.evictions += 1;
+        slot
+    }
+
+    /// Inserts (or replaces) `key`'s memoized outcome as the
+    /// most-recently-used entry, evicting the LRU entry when full.
+    fn insert(&mut self, key: CacheKey, value: Result<Placement, PlacementError>) {
+        if let Some(&slot) = self.map.get(&key) {
+            // A stale entry was recomputed: replace in place.
+            self.slots[slot].value = value;
+            self.touch(slot);
+            return;
+        }
+        let slot = if self.map.len() >= self.capacity {
+            // Full: the LRU entry's slot is recycled for the new one.
+            let slot = self.evict_lru();
+            self.slots[slot] = Slot {
+                key: key.clone(),
+                value,
+                prev: NONE,
+                next: NONE,
+            };
+            slot
+        } else if let Some(slot) = self.free.pop() {
+            self.slots[slot] = Slot {
+                key: key.clone(),
+                value,
+                prev: NONE,
+                next: NONE,
+            };
+            slot
+        } else {
+            self.slots.push(Slot {
+                key: key.clone(),
+                value,
+                prev: NONE,
+                next: NONE,
+            });
+            self.slots.len() - 1
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
     }
 
     /// Memoized [`PlacementAlgorithm::place`], computing the circuit's
@@ -212,19 +375,20 @@ impl PlacementCache {
             free_signature: self.free_signature(status),
             seed,
         };
-        if let Some(cached) = self.entries.get(&key) {
-            let feasible = match cached {
+        if let Some(&slot) = self.map.get(&key) {
+            let feasible = match &self.slots[slot].value {
                 Ok(placement) => placement.fits(status),
                 Err(_) => true,
             };
             if feasible {
                 self.stats.hits += 1;
-                return cached.clone();
+                self.touch(slot);
+                return self.slots[slot].value.clone();
             }
         }
         self.stats.misses += 1;
         let result = algorithm.place(circuit, cloud, status, seed);
-        self.entries.insert(key, result.clone());
+        self.insert(key, result.clone());
         result
     }
 }
@@ -251,7 +415,14 @@ mod tests {
         let warm = cache.place(&algo, &circuit, &cloud, &cloud.status(), 9);
         assert_eq!(cold.as_ref().ok(), direct.as_ref().ok());
         assert_eq!(cold, warm);
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
         assert_eq!(cache.len(), 1);
     }
 
@@ -266,7 +437,14 @@ mod tests {
         cache.place(&algo, &circuit, &cloud, &status, 2).unwrap();
         status.allocate_computing(QpuId::new(0), 1).unwrap();
         cache.place(&algo, &circuit, &cloud, &status, 1).unwrap();
-        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 3 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 3,
+                evictions: 0
+            }
+        );
     }
 
     #[test]
@@ -279,7 +457,14 @@ mod tests {
         let b = cache.place(&algo, &circuit, &cloud, &cloud.status(), 0);
         assert!(a.is_err());
         assert_eq!(a, b);
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
     }
 
     #[test]
@@ -305,7 +490,11 @@ mod tests {
 
     #[test]
     fn hit_rate_reporting() {
-        let stats = CacheStats { hits: 3, misses: 1 };
+        let stats = CacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        };
         assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
     }
@@ -314,5 +503,130 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_quantum_rejected() {
         PlacementCache::with_quantum(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = PlacementCache::new().with_capacity(0);
+    }
+
+    /// A placement algorithm cheap enough to drive millions of cache
+    /// fills: every qubit on QPU 0, no search.
+    struct StubPlacement;
+
+    impl PlacementAlgorithm for StubPlacement {
+        fn name(&self) -> &'static str {
+            "stub"
+        }
+
+        fn place(
+            &self,
+            circuit: &Circuit,
+            _cloud: &Cloud,
+            _status: &CloudStatus,
+            _seed: u64,
+        ) -> Result<Placement, PlacementError> {
+            Ok(Placement::new(vec![QpuId::new(0); circuit.num_qubits()]))
+        }
+    }
+
+    #[test]
+    fn lru_caps_memory_over_millions_of_distinct_signatures() {
+        // The long-lived-service scenario: an endless stream of
+        // distinct (fingerprint, free-vector, seed) signatures. The
+        // unbounded map this replaced grew one entry per signature —
+        // a leak; the LRU must stay at its capacity forever.
+        let cloud = CloudBuilder::new(2).computing_qubits(8).build();
+        let algo = StubPlacement;
+        let circuit = Circuit::new(2);
+        let fingerprint = circuit.fingerprint();
+        const CAPACITY: usize = 512;
+        const LOOKUPS: u64 = 2_000_000;
+        let mut cache = PlacementCache::new().with_capacity(CAPACITY);
+        for seed in 0..LOOKUPS {
+            cache
+                .place_fingerprinted(fingerprint, &algo, &circuit, &cloud, &cloud.status(), seed)
+                .unwrap();
+        }
+        assert_eq!(cache.len(), CAPACITY, "cache exceeded its capacity");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, LOOKUPS);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.evictions, LOOKUPS - CAPACITY as u64);
+        // The hottest (most recent) signatures are retained…
+        cache
+            .place_fingerprinted(
+                fingerprint,
+                &algo,
+                &circuit,
+                &cloud,
+                &cloud.status(),
+                LOOKUPS - 1,
+            )
+            .unwrap();
+        assert_eq!(cache.stats().hits, 1);
+        // …and the cold ones were evicted (a re-lookup recomputes —
+        // same pure function, so correctness is unaffected).
+        cache
+            .place_fingerprinted(fingerprint, &algo, &circuit, &cloud, &cloud.status(), 0)
+            .unwrap();
+        assert_eq!(cache.stats().misses, LOOKUPS + 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_not_least_recently_inserted() {
+        let cloud = CloudBuilder::new(2).computing_qubits(8).build();
+        let algo = StubPlacement;
+        let circuit = Circuit::new(2);
+        let fp = circuit.fingerprint();
+        let mut cache = PlacementCache::new().with_capacity(2);
+        let place = |cache: &mut PlacementCache, seed: u64| {
+            cache
+                .place_fingerprinted(fp, &algo, &circuit, &cloud, &cloud.status(), seed)
+                .unwrap()
+        };
+        place(&mut cache, 1); // miss: {1}
+        place(&mut cache, 2); // miss: {1, 2}
+        place(&mut cache, 1); // hit — 1 becomes most recent
+        place(&mut cache, 3); // miss: evicts 2, not 1
+        assert_eq!(cache.stats().evictions, 1);
+        place(&mut cache, 1); // still cached
+        assert_eq!(cache.stats().hits, 2);
+        place(&mut cache, 2); // evicted: recomputes
+        assert_eq!(cache.stats().misses, 4);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_down_and_reuses_slots() {
+        let cloud = CloudBuilder::new(2).computing_qubits(8).build();
+        let algo = StubPlacement;
+        let circuit = Circuit::new(2);
+        let fp = circuit.fingerprint();
+        let mut cache = PlacementCache::new().with_capacity(8);
+        for seed in 0..8 {
+            cache
+                .place_fingerprinted(fp, &algo, &circuit, &cloud, &cloud.status(), seed)
+                .unwrap();
+        }
+        assert_eq!(cache.len(), 8);
+        cache = cache.with_capacity(3);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().evictions, 5);
+        // The three most recent survive; refills reuse freed slots
+        // without exceeding the new cap.
+        for seed in 5..8 {
+            cache
+                .place_fingerprinted(fp, &algo, &circuit, &cloud, &cloud.status(), seed)
+                .unwrap();
+        }
+        assert_eq!(cache.stats().hits, 3);
+        for seed in 100..110 {
+            cache
+                .place_fingerprinted(fp, &algo, &circuit, &cloud, &cloud.status(), seed)
+                .unwrap();
+        }
+        assert_eq!(cache.len(), 3);
     }
 }

@@ -16,7 +16,7 @@
 //! [`RunReport::rejected`] — instead of aborting the run.
 
 use crate::error::{ExecError, PlacementError};
-use crate::exec::Executor;
+use crate::exec::{AllocStats, Executor};
 use crate::placement::{CacheStats, PlacementAlgorithm, PlacementCache};
 use crate::runtime::AdmissionPolicy;
 use crate::schedule::Scheduler;
@@ -70,6 +70,9 @@ pub struct RunReport {
     /// Distribution of same-tick event batch sizes the executor
     /// processed.
     pub event_batches: BatchStats,
+    /// Allocation-pass work counters: scheduler rounds run, front-layer
+    /// shards visited, requests scanned (see [`AllocStats`]).
+    pub allocation: AllocStats,
 }
 
 impl RunReport {
@@ -180,7 +183,9 @@ pub struct Orchestrator<'a> {
     path_reservation: bool,
     placement_cache: bool,
     cache_quantum: usize,
+    cache_capacity: usize,
     batched_allocation: bool,
+    sharded_front_layer: bool,
     fingerprint_seeding: bool,
     seed: u64,
 }
@@ -202,8 +207,10 @@ impl<'a> Orchestrator<'a> {
             path_reservation: false,
             placement_cache: true,
             cache_quantum: 1,
+            cache_capacity: PlacementCache::DEFAULT_CAPACITY,
             batched_allocation: true,
-            fingerprint_seeding: false,
+            sharded_front_layer: true,
+            fingerprint_seeding: true,
             seed,
         }
     }
@@ -246,6 +253,21 @@ impl<'a> Orchestrator<'a> {
         self
     }
 
+    /// Caps the placement cache's entry count (default
+    /// [`PlacementCache::DEFAULT_CAPACITY`]; see
+    /// [`PlacementCache::with_capacity`]). Long-lived services facing
+    /// unbounded distinct signatures evict least-recently-used entries
+    /// instead of growing without bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        self.cache_capacity = capacity;
+        self
+    }
+
     /// Enables or disables the executor's change-driven allocation
     /// elision (on by default; see
     /// [`Executor::with_batched_allocation`]).
@@ -254,8 +276,18 @@ impl<'a> Orchestrator<'a> {
         self
     }
 
+    /// Enables or disables the executor's per-QPU-pair sharded front
+    /// layer (on by default; see
+    /// [`Executor::with_sharded_front_layer`]). Sharded and global runs
+    /// produce byte-identical seeded schedules; disabling is for A/B
+    /// comparison.
+    pub fn with_sharded_front_layer(mut self, enabled: bool) -> Self {
+        self.sharded_front_layer = enabled;
+        self
+    }
+
     /// Derives each job's placement seed from its circuit's structural
-    /// fingerprint instead of its workload index (off by default).
+    /// fingerprint instead of its workload index (on by default).
     ///
     /// With fingerprint seeding, two jobs submitting the *same circuit
     /// shape* against the *same free-capacity vector* are by
@@ -264,9 +296,10 @@ impl<'a> Orchestrator<'a> {
     /// shapes hits the cache instead of re-running the full pipeline
     /// per admission. Runs remain deterministic per run seed, and
     /// cached and uncached runs remain byte-identical (the seed is a
-    /// function of the key either way); only the legacy per-index seed
-    /// derivation — and hence the exact schedules of existing seeded
-    /// runs — changes, which is why the mode is opt-in.
+    /// function of the key either way). Disabling restores the legacy
+    /// per-workload-index seed derivation — and with it the exact
+    /// schedules of pre-default seeded runs (the opt-out golden test
+    /// pins them).
     pub fn with_fingerprint_seeding(mut self, enabled: bool) -> Self {
         self.fingerprint_seeding = enabled;
         self
@@ -292,12 +325,13 @@ impl<'a> Orchestrator<'a> {
         let mut status = self.cloud.status();
         let mut exec = Executor::new(self.cloud, self.scheduler, self.seed)
             .with_path_reservation(self.path_reservation)
-            .with_batched_allocation(self.batched_allocation);
+            .with_batched_allocation(self.batched_allocation)
+            .with_sharded_front_layer(self.sharded_front_layer);
         // One fingerprint per job, computed up front so cache lookups
         // on the admission hot path are O(qpus), not O(gates).
-        let mut cache = self
-            .placement_cache
-            .then(|| PlacementCache::with_quantum(self.cache_quantum));
+        let mut cache = self.placement_cache.then(|| {
+            PlacementCache::with_quantum(self.cache_quantum).with_capacity(self.cache_capacity)
+        });
         let fingerprints: Vec<cloudqc_circuit::Fingerprint> =
             if cache.is_some() || self.fingerprint_seeding {
                 circuits.iter().map(|c| c.fingerprint()).collect()
@@ -462,6 +496,7 @@ impl<'a> Orchestrator<'a> {
             final_free_communication: exec.comm_free().to_vec(),
             placement_cache: cache.map(|c| c.stats()).unwrap_or_default(),
             event_batches: exec.batch_stats().clone(),
+            allocation: exec.alloc_stats(),
         })
     }
 }

@@ -8,6 +8,11 @@ use rand::rngs::StdRng;
 
 /// Even split: repeatedly grant one pair to each front-layer gate in
 /// key order (round-robin) until no gate can take another pair.
+///
+/// The sharded entry point ([`Scheduler::allocate_sharded`]) keeps the
+/// default flatten-and-delegate implementation: the round-robin runs in
+/// *key* order, not the shards' (priority desc, key asc) order, so the
+/// sort is re-done either way and a merge would buy nothing.
 #[derive(Clone, Debug, Default)]
 pub struct AverageScheduler;
 
@@ -78,6 +83,23 @@ mod tests {
         validate_allocations(&requests, &available, &allocs).unwrap();
         assert_eq!(allocs.iter().find(|a| a.key == 1).unwrap().pairs, 3);
         assert_eq!(allocs.iter().find(|a| a.key == 2).unwrap().pairs, 3);
+    }
+
+    #[test]
+    fn sharded_entry_point_is_shard_order_insensitive() {
+        // Key-ordered round-robin: however the dirty shards are listed,
+        // the allocations match the global pass.
+        let s1 = [req(4, 0, 1, 9), req(1, 0, 1, 2)];
+        let s2 = [req(3, 1, 2, 5), req(2, 1, 2, 1)];
+        let available = vec![5, 7, 5];
+        let mut rng = StdRng::seed_from_u64(0);
+        let flat: Vec<RemoteRequest> = s1.iter().chain(s2.iter()).copied().collect();
+        let global = AverageScheduler.allocate(&flat, &available, &mut rng);
+        for shards in [[&s1[..], &s2[..]], [&s2[..], &s1[..]]] {
+            let sharded = AverageScheduler.allocate_sharded(&shards, &available, &mut rng);
+            assert_eq!(sharded, global);
+        }
+        validate_allocations(&flat, &available, &global).unwrap();
     }
 
     #[test]

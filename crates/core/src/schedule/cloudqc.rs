@@ -5,7 +5,10 @@
 //! backlog the DAG — and **starvation freedom** — every front-layer gate
 //! eventually receives at least one pair.
 
-use super::{grant_one_each, Allocation, RemoteRequest, Scheduler};
+use super::{
+    allocate_prioritized, allocate_sharded_prioritized, Allocation, PriorityPolicy, RemoteRequest,
+    Scheduler,
+};
 use rand::rngs::StdRng;
 
 /// Priority-proportional allocation with a one-pair floor:
@@ -16,6 +19,10 @@ use rand::rngs::StdRng;
 /// 3. Spend remaining capacity top-down: the highest-priority gate takes
 ///    as many extra pairs as its endpoints allow, then the next, …
 ///    (redundancy for critical-path gates).
+///
+/// The global entry point sorts and walks (`allocate_prioritized`);
+/// the sharded one merges the pre-sorted shards' grantable heads
+/// directly (`allocate_sharded_prioritized`).
 #[derive(Clone, Debug, Default)]
 pub struct CloudQcScheduler;
 
@@ -34,32 +41,23 @@ impl Scheduler for CloudQcScheduler {
         // The (priority desc, key asc) order is total (keys are unique),
         // so the unstable sort is deterministic.
         ordered.sort_unstable_by(|x, y| y.priority.cmp(&x.priority).then(x.key.cmp(&y.key)));
-        let mut remaining = available.to_vec();
+        allocate_prioritized(
+            ordered.into_iter(),
+            available,
+            PriorityPolicy::FloorThenRedundancy,
+        )
+    }
 
-        // Phase 1: starvation-freedom floor.
-        let mut allocations = grant_one_each(&ordered, &mut remaining);
-
-        // Phase 2: redundancy by priority. Bound each gate's extra pairs
-        // to what still fits on both endpoints. The floor allocations
-        // are a subsequence of `ordered`, so one forward cursor pairs
-        // each granted request with its slot.
-        let mut slot = 0;
-        for req in &ordered {
-            if slot == allocations.len() {
-                break;
-            }
-            if allocations[slot].key != req.key {
-                continue; // didn't even get the floor: endpoints exhausted
-            }
-            let extra = remaining[req.a.index()].min(remaining[req.b.index()]);
-            if extra > 0 {
-                allocations[slot].pairs += extra;
-                remaining[req.a.index()] -= extra;
-                remaining[req.b.index()] -= extra;
-            }
-            slot += 1;
-        }
-        allocations
+    /// The sharded entry point walks the pre-sorted shards through the
+    /// grantable-heads merge (`allocate_sharded_prioritized`): no
+    /// sort, and work bounded by grants rather than pending requests.
+    fn allocate_sharded(
+        &self,
+        shards: &[&[RemoteRequest]],
+        available: &[usize],
+        _rng: &mut StdRng,
+    ) -> Vec<Allocation> {
+        allocate_sharded_prioritized(shards, available, PriorityPolicy::FloorThenRedundancy)
     }
 
     fn is_pure(&self) -> bool {
@@ -141,5 +139,20 @@ mod tests {
         let available = vec![3, 5];
         let allocs = CloudQcScheduler.allocate(&requests, &available, &mut rng());
         assert_eq!(allocs, vec![Allocation { key: 7, pairs: 3 }]);
+    }
+
+    #[test]
+    fn sharded_entry_point_matches_global_allocate() {
+        // Two shards over overlapping QPUs, each pre-sorted by
+        // (priority desc, key asc); the merged pass must reproduce the
+        // global sort-based pass exactly.
+        let s1 = [req(1, 0, 1, 9), req(4, 0, 1, 2)];
+        let s2 = [req(2, 1, 2, 7), req(3, 1, 2, 7)];
+        let available = vec![4, 6, 3];
+        let flat: Vec<RemoteRequest> = s1.iter().chain(s2.iter()).copied().collect();
+        let sharded = CloudQcScheduler.allocate_sharded(&[&s1, &s2], &available, &mut rng());
+        let global = CloudQcScheduler.allocate(&flat, &available, &mut rng());
+        assert_eq!(sharded, global);
+        validate_allocations(&flat, &available, &sharded).unwrap();
     }
 }

@@ -5,11 +5,18 @@
 //! sharing a QPU with the critical path can wait arbitrarily long. The
 //! paper finds this has the *worst* job completion time.
 
-use super::{Allocation, RemoteRequest, Scheduler};
+use super::{
+    allocate_prioritized, allocate_sharded_prioritized, Allocation, PriorityPolicy, RemoteRequest,
+    Scheduler,
+};
 use rand::rngs::StdRng;
 
 /// Strict priority order; each gate takes the maximum its endpoints
 /// still allow, leaving possibly nothing for the rest.
+///
+/// The global entry point sorts and walks (`allocate_prioritized`);
+/// the sharded one merges the pre-sorted shards' grantable heads
+/// directly (`allocate_sharded_prioritized`).
 #[derive(Clone, Debug, Default)]
 pub struct GreedyScheduler;
 
@@ -26,20 +33,23 @@ impl Scheduler for GreedyScheduler {
     ) -> Vec<Allocation> {
         let mut ordered: Vec<&RemoteRequest> = requests.iter().collect();
         ordered.sort_by(|x, y| y.priority.cmp(&x.priority).then(x.key.cmp(&y.key)));
-        let mut remaining = available.to_vec();
-        let mut allocations = Vec::new();
-        for req in ordered {
-            let pairs = remaining[req.a.index()].min(remaining[req.b.index()]);
-            if pairs > 0 {
-                remaining[req.a.index()] -= pairs;
-                remaining[req.b.index()] -= pairs;
-                allocations.push(Allocation {
-                    key: req.key,
-                    pairs,
-                });
-            }
-        }
-        allocations
+        allocate_prioritized(
+            ordered.into_iter(),
+            available,
+            PriorityPolicy::MaxPerRequest,
+        )
+    }
+
+    /// The sharded entry point walks the pre-sorted shards through the
+    /// grantable-heads merge (`allocate_sharded_prioritized`): no
+    /// sort, and work bounded by grants rather than pending requests.
+    fn allocate_sharded(
+        &self,
+        shards: &[&[RemoteRequest]],
+        available: &[usize],
+        _rng: &mut StdRng,
+    ) -> Vec<Allocation> {
+        allocate_sharded_prioritized(shards, available, PriorityPolicy::MaxPerRequest)
     }
 
     fn is_pure(&self) -> bool {
@@ -83,5 +93,18 @@ mod tests {
         assert_eq!(allocs.len(), 2);
         assert_eq!(allocs[0], Allocation { key: 1, pairs: 2 });
         assert_eq!(allocs[1], Allocation { key: 2, pairs: 3 });
+    }
+
+    #[test]
+    fn sharded_entry_point_matches_global_allocate() {
+        let s1 = [req(1, 0, 1, 9), req(3, 0, 2, 1)];
+        let s2 = [req(2, 1, 2, 5)];
+        let available = vec![4, 4, 4];
+        let mut rng = StdRng::seed_from_u64(0);
+        let flat: Vec<RemoteRequest> = s1.iter().chain(s2.iter()).copied().collect();
+        let sharded = GreedyScheduler.allocate_sharded(&[&s1, &s2], &available, &mut rng);
+        let global = GreedyScheduler.allocate(&flat, &available, &mut rng);
+        assert_eq!(sharded, global);
+        validate_allocations(&flat, &available, &sharded).unwrap();
     }
 }

@@ -83,12 +83,228 @@ pub trait Scheduler {
     ///
     /// Pure schedulers let the executor elide allocation rounds whose
     /// inputs are unchanged since a round that granted nothing — the
-    /// re-run would provably grant nothing again. Schedulers that
-    /// consume randomness must return `false` (the default): eliding a
-    /// call would shift their RNG stream and change seeded schedules.
+    /// re-run would provably grant nothing again. They also enable the
+    /// executor's *sharded* front layer, where a round only visits the
+    /// shards whose QPU pair was affected (see
+    /// [`Scheduler::allocate_sharded`]). Schedulers that consume
+    /// randomness must return `false` (the default): eliding a call
+    /// would shift their RNG stream and change seeded schedules.
     fn is_pure(&self) -> bool {
         false
     }
+
+    /// [`Scheduler::allocate`] over the union of several front-layer
+    /// *shards* — the executor's per-QPU-pair request lists.
+    ///
+    /// Contract on the input (the executor upholds it): each shard is
+    /// sorted by (priority descending, key ascending), holds requests
+    /// of **one** unordered QPU pair — so a shard's head names its
+    /// endpoints — and the shards are pairwise disjoint (every request
+    /// key appears once). The default implementation flattens the
+    /// shards and delegates to [`Scheduler::allocate`], so it is
+    /// behaviourally identical to a global pass over the same requests
+    /// for every scheduler whose allocation does not depend on input
+    /// order (all the pure ones — they sort their input by a total
+    /// order first). Pure schedulers can override it to exploit the
+    /// per-shard structure: [`CloudQcScheduler`] and
+    /// [`GreedyScheduler`] merge the shards' *grantable heads* directly
+    /// (`allocate_sharded_prioritized`), bounding work by grants
+    /// instead of pending requests.
+    fn allocate_sharded(
+        &self,
+        shards: &[&[RemoteRequest]],
+        available: &[usize],
+        rng: &mut StdRng,
+    ) -> Vec<Allocation> {
+        let flat: Vec<RemoteRequest> = shards.iter().flat_map(|s| s.iter().copied()).collect();
+        self.allocate(&flat, available, rng)
+    }
+}
+
+/// How the priority-ordered allocation walks spend capacity.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) enum PriorityPolicy {
+    /// One-pair floor for every request while capacity lasts, then the
+    /// remainder as redundancy top-down (CloudQC, Algorithm 3).
+    FloorThenRedundancy,
+    /// The maximum both endpoints allow to each request top-down,
+    /// possibly starving the rest (Greedy).
+    MaxPerRequest,
+}
+
+/// The redundancy phase of [`PriorityPolicy::FloorThenRedundancy`]:
+/// spend what remains top-down over the granted subsequence. The floor
+/// allocations line up 1:1 with `granted`, so the pass is a straight
+/// zip.
+fn grant_redundancy(
+    allocations: &mut [Allocation],
+    granted: &[&RemoteRequest],
+    remaining: &mut [usize],
+) {
+    for (alloc, req) in allocations.iter_mut().zip(granted) {
+        let extra = remaining[req.a.index()].min(remaining[req.b.index()]);
+        if extra > 0 {
+            alloc.pairs += extra;
+            remaining[req.a.index()] -= extra;
+            remaining[req.b.index()] -= extra;
+        }
+    }
+}
+
+/// The priority-ordered allocation walk shared by the CloudQC and
+/// Greedy schedulers' *global* entry points, over a (priority desc,
+/// key asc)-sorted request list.
+///
+/// Early exit: a grant needs **two** distinct QPUs with free pairs, so
+/// once fewer than two remain positive no later request can receive
+/// anything and the walk stops — any valid scheduler would grant the
+/// rest nothing.
+pub(crate) fn allocate_prioritized<'r>(
+    ordered: impl Iterator<Item = &'r RemoteRequest>,
+    available: &[usize],
+    policy: PriorityPolicy,
+) -> Vec<Allocation> {
+    let mut remaining = available.to_vec();
+    let mut positive = remaining.iter().filter(|&&c| c > 0).count();
+    let mut allocations = Vec::new();
+    let mut granted: Vec<&RemoteRequest> = Vec::new();
+    if positive >= 2 {
+        for req in ordered {
+            let (a, b) = (req.a.index(), req.b.index());
+            if remaining[a] >= 1 && remaining[b] >= 1 {
+                let pairs = match policy {
+                    PriorityPolicy::FloorThenRedundancy => 1,
+                    PriorityPolicy::MaxPerRequest => remaining[a].min(remaining[b]),
+                };
+                remaining[a] -= pairs;
+                if remaining[a] == 0 {
+                    positive -= 1;
+                }
+                remaining[b] -= pairs;
+                if remaining[b] == 0 {
+                    positive -= 1;
+                }
+                allocations.push(Allocation {
+                    key: req.key,
+                    pairs,
+                });
+                if policy == PriorityPolicy::FloorThenRedundancy {
+                    granted.push(req);
+                }
+                if positive < 2 {
+                    break;
+                }
+            }
+        }
+    }
+    grant_redundancy(&mut allocations, &granted, &mut remaining);
+    allocations
+}
+
+/// The *sharded* priority-ordered allocation walk shared by the CloudQC
+/// and Greedy schedulers: a k-way merge over the per-QPU-pair shards
+/// (each sorted by priority desc, key asc) that only ever advances
+/// through *grantable* requests.
+///
+/// The trick that makes every merge pop a grant: all requests of a
+/// shard share one QPU pair, so the instant either endpoint runs out of
+/// pairs the shard's entire remainder is denied — exactly as the global
+/// walk would deny it element by element — and its cursor is dropped
+/// from the merge on the spot. Work per pass is therefore
+/// O(shards + grants × live-shards), independent of how many pending
+/// requests the dirty shards hold; the global walk's sort-then-scan
+/// pays O(requests) before the first decision. The grant sequence is
+/// identical: each pop takes the highest-priority head among live
+/// shards, which is the next request the global walk would grant.
+pub(crate) fn allocate_sharded_prioritized(
+    shards: &[&[RemoteRequest]],
+    available: &[usize],
+    policy: PriorityPolicy,
+) -> Vec<Allocation> {
+    /// One live shard's walk position, with the head cached so the
+    /// selection loop compares through one pointer, and the shard's
+    /// (uniform) endpoint indices alongside.
+    struct Cursor<'r> {
+        head: &'r RemoteRequest,
+        rest: &'r [RemoteRequest],
+        a: usize,
+        b: usize,
+    }
+    let mut remaining = available.to_vec();
+    let mut cursors: Vec<Cursor> = shards
+        .iter()
+        .filter(|s| !s.is_empty())
+        .map(|s| Cursor {
+            head: &s[0],
+            rest: &s[1..],
+            a: s[0].a.index(),
+            b: s[0].b.index(),
+        })
+        .collect();
+    let mut allocations = Vec::new();
+    let mut granted: Vec<&RemoteRequest> = Vec::new();
+    while !cursors.is_empty() {
+        // Select the highest-priority head among live shards, shedding
+        // dead ones (an endpoint at zero) as the scan meets them. The
+        // sets are small, so a linear scan beats a binary heap.
+        let mut best: Option<usize> = None;
+        let mut i = 0;
+        while i < cursors.len() {
+            let cursor = &cursors[i];
+            if remaining[cursor.a] == 0 || remaining[cursor.b] == 0 {
+                // `best` (if set) is below `i`, so the swap cannot
+                // disturb it; re-examine the element swapped into `i`.
+                cursors.swap_remove(i);
+                continue;
+            }
+            best = match best {
+                Some(j) => {
+                    let leader = cursors[j].head;
+                    let ahead = cursor
+                        .head
+                        .priority
+                        .cmp(&leader.priority)
+                        .then(leader.key.cmp(&cursor.head.key))
+                        .is_gt();
+                    Some(if ahead { i } else { j })
+                }
+                None => Some(i),
+            };
+            i += 1;
+        }
+        let Some(best) = best else {
+            break;
+        };
+        let cursor = &mut cursors[best];
+        let req = cursor.head;
+        let (a, b) = (cursor.a, cursor.b);
+        match cursor.rest.split_first() {
+            Some((head, rest)) => {
+                cursor.head = head;
+                cursor.rest = rest;
+            }
+            None => {
+                cursors.swap_remove(best);
+            }
+        }
+        // Both endpoints are ≥ 1 (the cursor survived the scan), so
+        // the head is grantable by construction.
+        let pairs = match policy {
+            PriorityPolicy::FloorThenRedundancy => 1,
+            PriorityPolicy::MaxPerRequest => remaining[a].min(remaining[b]),
+        };
+        remaining[a] -= pairs;
+        remaining[b] -= pairs;
+        allocations.push(Allocation {
+            key: req.key,
+            pairs,
+        });
+        if policy == PriorityPolicy::FloorThenRedundancy {
+            granted.push(req);
+        }
+    }
+    grant_redundancy(&mut allocations, &granted, &mut remaining);
+    allocations
 }
 
 /// Checks the [`Scheduler`] contract: per-QPU totals within budget,
@@ -194,6 +410,46 @@ mod tests {
         assert!(
             validate_allocations(&requests, &[5, 5], &[Allocation { key: 1, pairs: 0 }]).is_err()
         );
+    }
+
+    #[test]
+    fn sharded_walk_equals_sorted_walk() {
+        // Shards sorted by (priority desc, key asc), one QPU pair each;
+        // the grantable-heads merge must grant exactly what the global
+        // sort-then-walk grants, for both policies.
+        let s1 = [req(1, 0, 1, 9), req(5, 0, 1, 9), req(2, 0, 1, 3)];
+        let s2 = [req(4, 1, 2, 7), req(3, 1, 2, 2)];
+        let s3: [RemoteRequest; 0] = [];
+        let available = vec![3, 4, 2];
+        let mut flat: Vec<&RemoteRequest> = s1.iter().chain(s2.iter()).collect();
+        flat.sort_by(|x, y| y.priority.cmp(&x.priority).then(x.key.cmp(&y.key)));
+        for policy in [
+            PriorityPolicy::FloorThenRedundancy,
+            PriorityPolicy::MaxPerRequest,
+        ] {
+            let sharded = allocate_sharded_prioritized(&[&s1, &s2, &s3], &available, policy);
+            let global = allocate_prioritized(flat.iter().copied(), &available, policy);
+            assert_eq!(sharded, global, "{policy:?}");
+        }
+        assert!(
+            allocate_sharded_prioritized(&[], &available, PriorityPolicy::FloorThenRedundancy)
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn default_allocate_sharded_matches_global_allocate() {
+        use crate::schedule::AverageScheduler;
+        use rand::SeedableRng;
+        let s1 = [req(1, 0, 1, 9), req(3, 0, 2, 1)];
+        let s2 = [req(2, 1, 2, 5)];
+        let available = vec![4, 4, 4];
+        let mut rng = StdRng::seed_from_u64(0);
+        let sharded = AverageScheduler.allocate_sharded(&[&s1, &s2], &available, &mut rng);
+        let flat: Vec<RemoteRequest> = s1.iter().chain(s2.iter()).copied().collect();
+        let global = AverageScheduler.allocate(&flat, &available, &mut rng);
+        assert_eq!(sharded, global);
+        validate_allocations(&flat, &available, &sharded).unwrap();
     }
 
     #[test]

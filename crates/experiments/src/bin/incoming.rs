@@ -39,6 +39,7 @@ fn main() {
         "mean EPR wait".to_string(),
         "cache hit%".to_string(),
         "batch mean/max".to_string(),
+        "scan/round".to_string(),
     ]);
     for &interarrival in &[50_000.0, 20_000.0, 5_000.0, 1_000.0] {
         for (name, algo) in &variants {
@@ -50,6 +51,7 @@ fn main() {
             let mut batch_ticks = 0u64;
             let mut batch_events = 0u64;
             let mut batch_max = 0usize;
+            let mut alloc = cloudqc_core::AllocStats::default();
             for rep in 0..args.reps {
                 let run_seed = SimRng::new(args.seed).fork_indexed(name, rep as u64).seed();
                 let cloud = CloudBuilder::paper_default(
@@ -73,6 +75,9 @@ fn main() {
                 batch_ticks += report.event_batches.ticks();
                 batch_events += report.event_batches.events();
                 batch_max = batch_max.max(report.event_batches.max());
+                alloc.rounds += report.allocation.rounds;
+                alloc.shards_visited += report.allocation.shards_visited;
+                alloc.requests_scanned += report.allocation.requests_scanned;
             }
             let jct = Summary::of(&jcts).expect("non-empty");
             let delay = Summary::of(&delays).expect("non-empty");
@@ -87,6 +92,7 @@ fn main() {
             } else {
                 batch_events as f64 / batch_ticks as f64
             };
+            let mean_scan = alloc.mean_scan();
             t.row(vec![
                 fmt_num(interarrival),
                 name.to_string(),
@@ -96,9 +102,10 @@ fn main() {
                 fmt_num(epr.mean),
                 format!("{hit_pct:.0}%"),
                 format!("{mean_batch:.2}/{batch_max}"),
+                format!("{mean_scan:.2}"),
             ]);
         }
     }
     t.print();
-    println!("\nShorter inter-arrival = heavier load: queueing delay should dominate JCT\nas the cloud saturates (EPR wait stays roughly constant per job).\n\"cache hit%\" is the placement cache's hit rate over all admission\nattempts; \"batch mean/max\" is the executor's same-tick event batch\nsize (events drained per allocation round).");
+    println!("\nShorter inter-arrival = heavier load: queueing delay should dominate JCT\nas the cloud saturates (EPR wait stays roughly constant per job).\n\"cache hit%\" is the placement cache's hit rate over all admission\nattempts; \"batch mean/max\" is the executor's same-tick event batch\nsize (events drained per allocation round); \"scan/round\" is the mean\nfront-layer requests the sharded scheduler actually scanned per\nallocation round (dirty shards only).");
 }

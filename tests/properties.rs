@@ -10,7 +10,7 @@ use cloudqc::core::placement::{
 use cloudqc::core::schedule::{
     AverageScheduler, CloudQcScheduler, GreedyScheduler, RandomScheduler, RemoteDag, Scheduler,
 };
-use cloudqc::core::simulate_job;
+use cloudqc::core::{simulate_job, Executor};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -145,6 +145,51 @@ proptest! {
         let ops = cost::remote_op_count(&circuit, &p) as f64;
         let cost = cost::communication_cost(&circuit, &p, &cloud);
         prop_assert!(cost >= ops);
+    }
+
+    /// The per-QPU-pair sharded front layer is a pure optimization:
+    /// for every pure scheduler, a contended multi-job run produces
+    /// the exact same schedule whether allocation rounds scan only the
+    /// dirty shards or the whole global request set.
+    #[test]
+    fn sharded_and_global_front_layers_agree(
+        qubits in 4usize..20,
+        gates in 1usize..40,
+        shape in 0u8..3,
+        seed in any::<u64>(),
+        jobs in 1usize..4,
+    ) {
+        let cloud = small_cloud(seed);
+        let placed: Vec<(Circuit, _)> = (0..jobs)
+            .map(|j| {
+                let circuit = random_circuit(qubits, gates, shape, seed ^ (j as u64) << 7);
+                // Random placements spread qubits across QPUs, filling
+                // many distinct shards.
+                let p = RandomPlacement
+                    .place(&circuit, &cloud, &cloud.status(), seed ^ (j as u64))
+                    .unwrap();
+                (circuit, p)
+            })
+            .collect();
+        let scheds: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(GreedyScheduler),
+            Box::new(AverageScheduler),
+            Box::new(CloudQcScheduler),
+        ];
+        for sched in &scheds {
+            let run = |sharded: bool| {
+                let mut exec = Executor::new(&cloud, sched.as_ref(), seed)
+                    .with_sharded_front_layer(sharded);
+                let ids: Vec<usize> = placed.iter().map(|(c, p)| exec.add_job(c, p)).collect();
+                exec.run_to_completion();
+                let results: Vec<_> = ids
+                    .into_iter()
+                    .map(|id| exec.job_result(id).expect("job finished"))
+                    .collect();
+                (results, exec.now(), exec.comm_free().to_vec())
+            };
+            prop_assert_eq!(run(true), run(false), "{} diverged under sharding", sched.name());
+        }
     }
 
     /// A placement-cache hit and a cold run of the algorithm return
