@@ -1,0 +1,114 @@
+//! Cross-epoch placement-cache reuse — the service layer's headline
+//! win.
+//!
+//! Steady-state traffic of repeated circuit shapes is driven for
+//! several epochs. Four arms price the persistent cache:
+//!
+//! * `service_warm_epochs` — one resident `Service`: epoch 1 fills the
+//!   cache, later epochs admit from it.
+//! * `service_warm_quantum4` — the same, with the coarser (quantum 4)
+//!   free-vector signature: more hits, at the cost of within-bucket
+//!   drift being allowed to reuse stale placements.
+//! * `orchestrator_cold_epochs` — one `Orchestrator::run` per epoch:
+//!   the pre-service behaviour, rebuilding the cache from cold every
+//!   epoch.
+//! * `service_uncached_epochs` — the cache disabled outright: every
+//!   admission pays the full placement pipeline.
+//!
+//! With `BENCH_JSON=<path>` in the environment every case's minimum
+//! sample lands in `<path>` as ms/run — the input of the CI
+//! bench-regression gate (see `bench_gate`).
+
+use cloudqc_bench::bench_circuit;
+use cloudqc_circuit::Circuit;
+use cloudqc_cloud::CloudBuilder;
+use cloudqc_core::placement::CloudQcPlacement;
+use cloudqc_core::runtime::{AdmissionPolicy, Orchestrator};
+use cloudqc_core::schedule::CloudQcScheduler;
+use cloudqc_core::workload::Workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const EPOCHS: usize = 3;
+
+fn bench_cross_epoch_cache(c: &mut Criterion) {
+    // The steady-shapes contention profile of
+    // `multi_tenant_contention/placement_cache`, driven for several
+    // epochs: two repeated shapes, a free-capacity vector oscillating
+    // through a small set of values, fingerprint seeding on.
+    let cloud = CloudBuilder::new(8)
+        .computing_qubits(40)
+        .communication_qubits(3)
+        .ring_topology()
+        .build();
+    let pool: Vec<Circuit> = ["knn_n67", "adder_n64"]
+        .iter()
+        .map(|n| bench_circuit(n))
+        .collect();
+    let workload = Workload::poisson(&pool, 32, 1_500.0, 7);
+    let placement = CloudQcPlacement::default();
+    let orchestrator = |seed: u64| {
+        Orchestrator::new(&cloud, &placement, &CloudQcScheduler, seed)
+            .with_admission(AdmissionPolicy::Backfill)
+    };
+    let mut group = c.benchmark_group("placement_cache");
+    group.sample_size(10);
+    group.bench_function("service_warm_epochs", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let mut svc = orchestrator(seed).into_service();
+            for _ in 0..EPOCHS {
+                svc.submit_workload(black_box(&workload));
+                svc.drive().expect("epoch completes");
+            }
+            svc.report().completed
+        });
+    });
+    group.bench_function("service_warm_quantum4", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let mut svc = orchestrator(seed).with_cache_quantum(4).into_service();
+            for _ in 0..EPOCHS {
+                svc.submit_workload(black_box(&workload));
+                svc.drive().expect("epoch completes");
+            }
+            svc.report().completed
+        });
+    });
+    group.bench_function("orchestrator_cold_epochs", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let orch = orchestrator(seed);
+            let mut completed = 0usize;
+            for _ in 0..EPOCHS {
+                completed += orch
+                    .run(black_box(&workload))
+                    .expect("epoch completes")
+                    .outcomes
+                    .len();
+            }
+            completed
+        });
+    });
+    group.bench_function("service_uncached_epochs", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let mut svc = orchestrator(seed)
+                .with_placement_cache(false)
+                .into_service();
+            for _ in 0..EPOCHS {
+                svc.submit_workload(black_box(&workload));
+                svc.drive().expect("epoch completes");
+            }
+            svc.report().completed
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cross_epoch_cache);
+criterion_main!(benches);

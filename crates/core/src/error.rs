@@ -1,6 +1,7 @@
 //! Framework error types.
 
 use cloudqc_cloud::{QpuId, ResourceError};
+use cloudqc_sim::Tick;
 use std::error::Error;
 use std::fmt;
 
@@ -58,11 +59,12 @@ impl From<ResourceError> for PlacementError {
     }
 }
 
-/// Reasons a job cannot be admitted to the executor: its placement
-/// induces remote gates the cloud's communication fabric can never
-/// serve. The orchestrator rejects such jobs instead of aborting the
-/// whole run; [`crate::exec::Executor::add_job`] stays as a panicking
-/// convenience wrapper for tests.
+/// Reasons a job is rejected at admission instead of executed: its
+/// placement induces remote gates the cloud's communication fabric can
+/// never serve, or (under deadline-aware admission) its SLA deadline
+/// can no longer be met. The orchestrator rejects such jobs instead of
+/// aborting the whole run; [`crate::exec::Executor::add_job`] stays as
+/// a panicking convenience wrapper for tests.
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum ExecError {
@@ -91,6 +93,15 @@ pub enum ExecError {
         /// Second endpoint of the routed remote gate.
         b: QpuId,
     },
+    /// Deadline-aware admission determined the job can no longer finish
+    /// by its SLA deadline (estimated completion past the deadline), so
+    /// it was rejected rather than left to rot in the queue.
+    SlaExpired {
+        /// The job's absolute deadline.
+        deadline: Tick,
+        /// When the rejection decision was made.
+        now: Tick,
+    },
 }
 
 impl ExecError {
@@ -101,6 +112,7 @@ impl ExecError {
             ExecError::NoCommQubits { .. } => "no-comm-qubits",
             ExecError::NoRoute { .. } => "no-route",
             ExecError::StationWithoutCommQubits { .. } => "station-no-comm",
+            ExecError::SlaExpired { .. } => "sla-expired",
         }
     }
 }
@@ -118,6 +130,14 @@ impl fmt::Display for ExecError {
                 write!(
                     f,
                     "swapping station {station} on route {a}->{b} lacks communication qubits"
+                )
+            }
+            ExecError::SlaExpired { deadline, now } => {
+                write!(
+                    f,
+                    "SLA deadline at tick {} can no longer be met (decision at tick {})",
+                    deadline.as_ticks(),
+                    now.as_ticks()
                 )
             }
         }
@@ -155,6 +175,11 @@ mod tests {
                 b,
             }
             .kind_name(),
+            ExecError::SlaExpired {
+                deadline: Tick::new(100),
+                now: Tick::new(150),
+            }
+            .kind_name(),
         ];
         assert_eq!(
             kinds.len(),
@@ -178,6 +203,12 @@ mod tests {
         };
         assert!(e.to_string().contains("swapping station"));
         assert!(e.to_string().contains("QPU1"));
+        let sla = ExecError::SlaExpired {
+            deadline: Tick::new(100),
+            now: Tick::new(150),
+        };
+        assert!(sla.to_string().contains("deadline"));
+        assert!(sla.to_string().contains("100"));
     }
 
     #[test]

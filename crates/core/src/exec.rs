@@ -144,6 +144,15 @@ impl AllocStats {
         }
         self.requests_scanned as f64 / self.rounds as f64
     }
+
+    /// Folds another counter set into this one — how a long-lived
+    /// service accumulates per-epoch executor stats into lifetime
+    /// totals.
+    pub fn merge(&mut self, other: AllocStats) {
+        self.rounds += other.rounds;
+        self.shards_visited += other.shards_visited;
+        self.requests_scanned += other.requests_scanned;
+    }
 }
 
 /// One front-layer shard: the pending requests over a single unordered

@@ -17,9 +17,14 @@
 //!   concurrent jobs, an incrementally maintained allocation front
 //!   layer.
 //! * [`runtime`] / [`workload`] — the unified cloud runtime: seed-
-//!   deterministic workloads (batch, Poisson, bursty, trace replay)
-//!   through pluggable admission (FCFS, backfill, priority-aware) into
-//!   the shared executor, reporting per-job latency breakdowns.
+//!   deterministic workloads (batch, Poisson, bursty, trace replay,
+//!   diurnal curves, heavy-tailed sizes) through pluggable admission
+//!   (FCFS, backfill, priority-aware, shortest-job-first, weighted
+//!   fair-share, deadline-aware) into the shared executor. The
+//!   resident [`runtime::Service`] serves an unbounded stream in
+//!   epochs over a persistent placement cache with streaming metrics;
+//!   [`runtime::Orchestrator::run`] is the one-epoch wrapper for
+//!   finite traces, reporting per-job latency breakdowns.
 //! * [`batch`] / [`tenant`] — the batch manager (Eq. 11) and the
 //!   multi-tenant entry points of §VI.D, thin wrappers over [`runtime`].
 //!
@@ -59,5 +64,5 @@ pub mod workload;
 
 pub use error::{ExecError, PlacementError};
 pub use exec::{simulate_job, AllocStats, Executor, JobResult};
-pub use runtime::{JobRecord, Orchestrator, RunReport};
+pub use runtime::{JobRecord, Orchestrator, RunReport, Service, ServiceReport};
 pub use workload::Workload;

@@ -72,6 +72,28 @@ impl CacheStats {
         }
         self.hits as f64 / total as f64
     }
+
+    /// The counter deltas accumulated since an `earlier` snapshot of
+    /// the same cache — how a long-lived service reports *per-epoch*
+    /// stats from its lifetime counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `earlier` is not a prefix of `self`
+    /// (some counter would go backwards).
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        debug_assert!(
+            self.hits >= earlier.hits
+                && self.misses >= earlier.misses
+                && self.evictions >= earlier.evictions,
+            "snapshot taken from a different cache"
+        );
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+        }
+    }
 }
 
 #[derive(Clone, PartialEq, Eq, Hash)]

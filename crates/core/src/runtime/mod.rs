@@ -1,27 +1,38 @@
 //! The unified cloud runtime: workload → admission → executor →
-//! metrics.
+//! metrics, one-shot or resident.
 //!
 //! One event-driven orchestration loop serves every execution mode of
 //! the paper — batch (§VI.D) and incoming jobs (§V.B) — plus the open
-//! scenarios the ROADMAP asks for (bursty traffic, trace replay),
-//! under pluggable admission policies:
+//! scenarios the ROADMAP asks for (bursty traffic, trace replay,
+//! diurnal curves, heavy-tailed sizes), under pluggable admission
+//! policies:
 //!
 //! ```text
-//!  Workload (batch / poisson / bursty / trace)       crate::workload
+//!  Workload (batch / poisson / bursty / trace /      crate::workload
+//!            diurnal / pareto_sizes)
 //!      │ arrivals
 //!      ▼
-//!  Orchestrator ── AdmissionPolicy (FCFS / backfill / priority)
-//!      │ placements (crate::placement)
+//!  Service core ── AdmissionPolicy (FCFS / backfill / priority /
+//!   (epochs)        SJF / weighted fair-share / deadline-aware)
+//!      │ placements (crate::placement, persistent PlacementCache)
 //!      ▼
 //!  Executor — shared EPR rounds, incremental front layer  crate::exec
 //!      │ completions
 //!      ▼
-//!  RunReport — per-job latency breakdown, throughput & utilization
-//!  time series                                       cloudqc_sim::series
+//!  RunReport (per-epoch, retained records) +
+//!  OnlineReport (streaming, constant memory)      cloudqc_sim::{series,online}
 //! ```
+//!
+//! The loop lives in the resident [`Service`] (`submit` / `drive` /
+//! `drain` epochs over a persistent placement cache and streaming
+//! metrics); the one-shot [`Orchestrator::run`] drives exactly one
+//! epoch of a fresh service, so finite-trace experiments and service
+//! epochs are the same computation by construction.
 
 mod admission;
 mod orchestrator;
+pub mod service;
 
 pub use admission::AdmissionPolicy;
 pub use orchestrator::{JobRecord, Orchestrator, RunReport};
+pub use service::{Service, ServiceReport};

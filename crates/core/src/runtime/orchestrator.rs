@@ -1,27 +1,32 @@
-//! The event-driven cloud runtime: one orchestration loop for every
-//! execution mode.
+//! The one-shot runtime entry point: one finite workload through the
+//! unified orchestration loop.
 //!
-//! The [`Orchestrator`] owns admission (an [`AdmissionPolicy`] over the
-//! waiting queue) and drives the shared [`Executor`]: jobs arrive per
-//! the [`Workload`], queue until the placement algorithm finds room,
-//! execute concurrently while competing for communication qubits, and
-//! release their computing qubits on completion (which re-opens
-//! admission). Batch mode (§VI.D) and the incoming-job mode (§V.B) are
-//! the same loop with different workloads; `run_multi_tenant` /
+//! The [`Orchestrator`] holds the runtime *configuration* — admission
+//! policy, cache knobs, executor options, seed — and [`Orchestrator::run`]
+//! executes one workload to completion as a single epoch of the
+//! resident [`crate::runtime::Service`] (which owns the actual event
+//! loop; the orchestrator is the thin wrapper kept for finite-trace
+//! experiments). Batch mode (§VI.D) and the incoming-job mode (§V.B)
+//! are the same loop with different workloads; `run_multi_tenant` /
 //! `run_incoming` in [`crate::tenant`] are thin wrappers kept for the
-//! experiment binaries.
+//! experiment binaries. Long-lived processes should hold a
+//! [`crate::runtime::Service`] instead ([`Orchestrator::into_service`])
+//! to keep the placement cache warm across epochs and stream metrics
+//! instead of retaining every outcome.
 //!
 //! Jobs whose placement can never execute (a remote gate over a QPU
-//! with no communication qubits) are *rejected* — reported in
+//! with no communication qubits), or whose SLA expired under
+//! deadline-aware admission, are *rejected* — reported in
 //! [`RunReport::rejected`] — instead of aborting the run.
 
 use crate::error::{ExecError, PlacementError};
-use crate::exec::{AllocStats, Executor};
+use crate::exec::AllocStats;
 use crate::placement::{CacheStats, PlacementAlgorithm, PlacementCache};
+use crate::runtime::service::{RuntimeConfig, Service};
 use crate::runtime::AdmissionPolicy;
 use crate::schedule::Scheduler;
 use crate::workload::Workload;
-use cloudqc_cloud::{Cloud, CloudStatus};
+use cloudqc_cloud::Cloud;
 use cloudqc_sim::series::{BatchStats, LatencyBreakdown, MeanBreakdown, TimeSeries};
 use cloudqc_sim::Tick;
 
@@ -176,18 +181,7 @@ impl RunReport {
 /// assert_eq!(report.outcomes.len(), 4);
 /// ```
 pub struct Orchestrator<'a> {
-    cloud: &'a Cloud,
-    placement: &'a dyn PlacementAlgorithm,
-    scheduler: &'a dyn Scheduler,
-    admission: AdmissionPolicy,
-    path_reservation: bool,
-    placement_cache: bool,
-    cache_quantum: usize,
-    cache_capacity: usize,
-    batched_allocation: bool,
-    sharded_front_layer: bool,
-    fingerprint_seeding: bool,
-    seed: u64,
+    cfg: RuntimeConfig<'a>,
 }
 
 impl<'a> Orchestrator<'a> {
@@ -200,31 +194,33 @@ impl<'a> Orchestrator<'a> {
         seed: u64,
     ) -> Self {
         Orchestrator {
-            cloud,
-            placement,
-            scheduler,
-            admission: AdmissionPolicy::default(),
-            path_reservation: false,
-            placement_cache: true,
-            cache_quantum: 1,
-            cache_capacity: PlacementCache::DEFAULT_CAPACITY,
-            batched_allocation: true,
-            sharded_front_layer: true,
-            fingerprint_seeding: true,
-            seed,
+            cfg: RuntimeConfig {
+                cloud,
+                placement,
+                scheduler,
+                admission: AdmissionPolicy::default(),
+                path_reservation: false,
+                placement_cache: true,
+                cache_quantum: 1,
+                cache_capacity: PlacementCache::DEFAULT_CAPACITY,
+                batched_allocation: true,
+                sharded_front_layer: true,
+                fingerprint_seeding: true,
+                seed,
+            },
         }
     }
 
     /// Selects the admission policy.
     pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
-        self.admission = admission;
+        self.cfg.admission = admission;
         self
     }
 
     /// Enables executor path reservation (swapping-station holds, see
-    /// [`Executor::with_path_reservation`]).
+    /// [`crate::exec::Executor::with_path_reservation`]).
     pub fn with_path_reservation(mut self, enabled: bool) -> Self {
-        self.path_reservation = enabled;
+        self.cfg.path_reservation = enabled;
         self
     }
 
@@ -234,7 +230,7 @@ impl<'a> Orchestrator<'a> {
     /// byte-identical schedules; disable only to A/B the cache or when
     /// a placement algorithm violates seeded determinism.
     pub fn with_placement_cache(mut self, enabled: bool) -> Self {
-        self.placement_cache = enabled;
+        self.cfg.placement_cache = enabled;
         self
     }
 
@@ -249,7 +245,7 @@ impl<'a> Orchestrator<'a> {
     /// Panics if `quantum == 0`.
     pub fn with_cache_quantum(mut self, quantum: usize) -> Self {
         assert!(quantum > 0, "quantization bucket must be positive");
-        self.cache_quantum = quantum;
+        self.cfg.cache_quantum = quantum;
         self
     }
 
@@ -264,25 +260,25 @@ impl<'a> Orchestrator<'a> {
     /// Panics if `capacity == 0`.
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
-        self.cache_capacity = capacity;
+        self.cfg.cache_capacity = capacity;
         self
     }
 
     /// Enables or disables the executor's change-driven allocation
     /// elision (on by default; see
-    /// [`Executor::with_batched_allocation`]).
+    /// [`crate::exec::Executor::with_batched_allocation`]).
     pub fn with_batched_allocation(mut self, enabled: bool) -> Self {
-        self.batched_allocation = enabled;
+        self.cfg.batched_allocation = enabled;
         self
     }
 
     /// Enables or disables the executor's per-QPU-pair sharded front
     /// layer (on by default; see
-    /// [`Executor::with_sharded_front_layer`]). Sharded and global runs
-    /// produce byte-identical seeded schedules; disabling is for A/B
-    /// comparison.
+    /// [`crate::exec::Executor::with_sharded_front_layer`]). Sharded
+    /// and global runs produce byte-identical seeded schedules;
+    /// disabling is for A/B comparison.
     pub fn with_sharded_front_layer(mut self, enabled: bool) -> Self {
-        self.sharded_front_layer = enabled;
+        self.cfg.sharded_front_layer = enabled;
         self
     }
 
@@ -301,11 +297,21 @@ impl<'a> Orchestrator<'a> {
     /// schedules of pre-default seeded runs (the opt-out golden test
     /// pins them).
     pub fn with_fingerprint_seeding(mut self, enabled: bool) -> Self {
-        self.fingerprint_seeding = enabled;
+        self.cfg.fingerprint_seeding = enabled;
         self
     }
 
-    /// Runs the workload to completion.
+    /// Turns this configuration into a resident [`Service`]: the same
+    /// event loop, but with a placement cache that stays warm across
+    /// epochs and streaming metrics instead of retained outcomes. Every
+    /// knob set on the orchestrator carries over.
+    pub fn into_service(self) -> Service<'a> {
+        Service::from_config(self.cfg)
+    }
+
+    /// Runs the workload to completion — a thin wrapper that drives one
+    /// epoch of a fresh [`Service`], so a finite trace and a service
+    /// epoch are by construction the same computation.
     ///
     /// # Errors
     ///
@@ -314,190 +320,9 @@ impl<'a> Orchestrator<'a> {
     /// *placement* succeeds but can never *execute* (communication
     /// starvation) are rejected, not errors.
     pub fn run(&self, workload: &Workload) -> Result<RunReport, PlacementError> {
-        let jobs = workload.jobs();
-        let n = jobs.len();
-        // Arrival order (stable on ties: workload index).
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by_key(|&i| jobs[i].arrival);
-        let circuits: Vec<&cloudqc_circuit::Circuit> = jobs.iter().map(|j| &j.circuit).collect();
-        let metrics = self.admission.metrics(circuits.iter().copied());
-
-        let mut status = self.cloud.status();
-        let mut exec = Executor::new(self.cloud, self.scheduler, self.seed)
-            .with_path_reservation(self.path_reservation)
-            .with_batched_allocation(self.batched_allocation)
-            .with_sharded_front_layer(self.sharded_front_layer);
-        // One fingerprint per job, computed up front so cache lookups
-        // on the admission hot path are O(qpus), not O(gates).
-        let mut cache = self.placement_cache.then(|| {
-            PlacementCache::with_quantum(self.cache_quantum).with_capacity(self.cache_capacity)
-        });
-        let fingerprints: Vec<cloudqc_circuit::Fingerprint> =
-            if cache.is_some() || self.fingerprint_seeding {
-                circuits.iter().map(|c| c.fingerprint()).collect()
-            } else {
-                Vec::new()
-            };
-        let mut waiting: Vec<usize> = Vec::new();
-        // exec job id -> (workload index, demand vector)
-        let mut admitted: Vec<(usize, Vec<usize>)> = Vec::new();
-        let mut outcomes: Vec<Option<JobRecord>> = vec![None; n];
-        let mut rejected: Vec<(usize, ExecError)> = Vec::new();
-        let mut next_arrival = 0usize;
-
-        let record = |exec: &Executor,
-                      admitted: &[(usize, Vec<usize>)],
-                      status: &mut CloudStatus,
-                      outcomes: &mut Vec<Option<JobRecord>>,
-                      finished: Vec<usize>| {
-            for exec_id in finished {
-                let (job_idx, demand) = &admitted[exec_id];
-                status.release_all_computing(demand);
-                let result = exec.job_result(exec_id).expect("job finished");
-                let arrived = jobs[*job_idx].arrival;
-                let queueing = result.started_at - arrived;
-                let service = result.finished_at - result.started_at;
-                outcomes[*job_idx] = Some(JobRecord {
-                    job: *job_idx,
-                    arrived_at: arrived,
-                    admitted_at: result.started_at,
-                    finished_at: result.finished_at,
-                    completion_time: Tick::new(result.finished_at - arrived),
-                    remote_gates: result.remote_gates,
-                    epr_rounds: result.epr_rounds,
-                    qubits: demand.iter().sum(),
-                    breakdown: LatencyBreakdown::new(
-                        queueing,
-                        result.epr_wait,
-                        service - result.epr_wait,
-                    ),
-                });
-            }
-        };
-
-        loop {
-            // Admit every waiting job the policy and resources allow.
-            let mut i = 0;
-            while i < waiting.len() {
-                let job_idx = waiting[i];
-                let job_seed = if self.fingerprint_seeding {
-                    self.seed ^ fingerprints[job_idx].as_u64()
-                } else {
-                    self.seed ^ (job_idx as u64) << 17
-                };
-                let placed = match cache.as_mut() {
-                    Some(cache) => cache.place_fingerprinted(
-                        fingerprints[job_idx],
-                        self.placement,
-                        circuits[job_idx],
-                        self.cloud,
-                        &status,
-                        job_seed,
-                    ),
-                    None => self
-                        .placement
-                        .place(circuits[job_idx], self.cloud, &status, job_seed),
-                };
-                match placed {
-                    Ok(p) => {
-                        let demand = p.qpu_demand(self.cloud.qpu_count());
-                        match exec.try_add_job(circuits[job_idx], &p) {
-                            Ok(exec_id) => {
-                                status
-                                    .allocate_all_computing(&demand)
-                                    .expect("placement.fits was checked by the algorithm");
-                                debug_assert_eq!(exec_id, admitted.len());
-                                admitted.push((job_idx, demand));
-                                waiting.remove(i);
-                            }
-                            Err(e) => {
-                                // The placement can never execute:
-                                // reject the job, keep the run going.
-                                rejected.push((job_idx, e));
-                                waiting.remove(i);
-                            }
-                        }
-                    }
-                    Err(PlacementError::InsufficientCapacity { required, .. })
-                        if required > self.cloud.total_computing_capacity() =>
-                    {
-                        // Impossible even on an idle cloud: fail the run.
-                        return Err(PlacementError::InsufficientCapacity {
-                            required,
-                            available: self.cloud.total_computing_capacity(),
-                        });
-                    }
-                    Err(_) => {
-                        // Cannot fit now: wait. Under FCFS the head
-                        // blocks the queue; otherwise later jobs may
-                        // backfill.
-                        if self.admission.head_of_line_blocks() {
-                            break;
-                        }
-                        i += 1;
-                    }
-                }
-            }
-
-            // Advance: to the next arrival if one is pending, else to
-            // the next completion.
-            if next_arrival < order.len() {
-                let arrival_time = jobs[order[next_arrival]].arrival;
-                let finished = exec.run_until(arrival_time);
-                record(&exec, &admitted, &mut status, &mut outcomes, finished);
-                // Enqueue every job arriving at this instant.
-                while next_arrival < order.len()
-                    && jobs[order[next_arrival]].arrival <= arrival_time
-                {
-                    self.admission
-                        .enqueue(&mut waiting, order[next_arrival], metrics.as_deref());
-                    next_arrival += 1;
-                }
-            } else if exec.unfinished_jobs() > 0 {
-                let finished = exec.run_until_next_completion();
-                if finished.is_empty() && !waiting.is_empty() {
-                    return Err(PlacementError::NoFeasiblePlacement);
-                }
-                record(&exec, &admitted, &mut status, &mut outcomes, finished);
-            } else {
-                // Gate-less circuits finish inside try_add_job without
-                // raising unfinished_jobs; drain them before deciding
-                // the run is over (run_until_next_completion returns
-                // the buffered completions without stepping).
-                let finished = exec.run_until_next_completion();
-                if !finished.is_empty() {
-                    record(&exec, &admitted, &mut status, &mut outcomes, finished);
-                } else if waiting.is_empty() {
-                    break;
-                } else {
-                    // Idle executor, no arrivals left, jobs still
-                    // waiting: they must fit the (fully free) cloud or
-                    // never will.
-                    return Err(PlacementError::NoFeasiblePlacement);
-                }
-            }
-        }
-
-        let outcomes: Vec<JobRecord> = outcomes.into_iter().flatten().collect();
-        debug_assert_eq!(outcomes.len() + rejected.len(), n, "every job accounted");
-        let makespan = outcomes
-            .iter()
-            .map(|o| o.finished_at)
-            .max()
-            .unwrap_or(Tick::ZERO);
-        let final_free_computing: Vec<usize> = (0..self.cloud.qpu_count())
-            .map(|i| status.free_computing(cloudqc_cloud::QpuId::new(i)))
-            .collect();
-        Ok(RunReport {
-            outcomes,
-            rejected,
-            makespan,
-            final_free_computing,
-            final_free_communication: exec.comm_free().to_vec(),
-            placement_cache: cache.map(|c| c.stats()).unwrap_or_default(),
-            event_batches: exec.batch_stats().clone(),
-            allocation: exec.alloc_stats(),
-        })
+        let mut service = Service::from_config(self.cfg);
+        service.submit_workload(workload);
+        service.drive()
     }
 }
 

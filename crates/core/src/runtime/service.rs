@@ -1,0 +1,756 @@
+//! The resident service core: one long-lived process serving an
+//! unbounded job stream in epochs.
+//!
+//! [`crate::runtime::Orchestrator::run`] models a *finite trace*: every
+//! call rebuilds the placement cache from cold and retains every job
+//! outcome in memory to assemble its [`RunReport`]. A production-scale
+//! service cannot do either. [`Service`] is the same event loop made
+//! resident — it owns the state that must outlive any single run:
+//!
+//! * a persistent [`PlacementCache`] shared across epochs, so
+//!   steady-state traffic of recurring circuit shapes is placed from
+//!   cache instead of re-running the full pipeline every epoch,
+//! * a streaming [`OnlineReport`] (constant-memory running aggregates
+//!   plus a bounded reservoir for percentiles) that answers
+//!   mean/p95-JCT and throughput questions without retaining per-job
+//!   records, and
+//! * lifetime totals of the executor's work counters
+//!   ([`AllocStats`], [`BatchStats`]) and the cache's hit/miss/eviction
+//!   counters.
+//!
+//! # Lifecycle
+//!
+//! ```text
+//!   Service::new ──► submit / submit_workload   (buffer the epoch)
+//!        ▲                    │
+//!        │                    ▼
+//!        │              drive()  ── one epoch: admission → placement
+//!        │                    │     (persistent cache) → executor →
+//!        │                    │     per-epoch RunReport; completions
+//!        │                    │     fold into the OnlineReport
+//!        │                    ▼
+//!        └──── more submits ◄─┴─► drain() ── flush + ServiceReport
+//!                                            (lifetime totals)
+//! ```
+//!
+//! Each epoch is an independent simulation run (its clock starts at
+//! tick 0 with an idle cloud); what persists between epochs is the
+//! *warmth* — cache entries and metrics. Cache reuse never changes
+//! outcomes, only speed: with the default exact signature a hit replays
+//! a pure function of inputs the signature captures completely, and
+//! every reuse is re-validated with `Placement::fits` (the two-epoch
+//! golden test pins warm-epoch outcomes against independent cold runs).
+//!
+//! An epoch that fails with a [`PlacementError`] consumes its
+//! submissions and contributes nothing to the streaming metrics or
+//! lifetime counters (the pre-epoch report is restored); only cache
+//! entries warmed before the failure remain — memoized pure functions,
+//! observable solely as speed.
+
+use crate::error::{ExecError, PlacementError};
+use crate::exec::{AllocStats, Executor};
+use crate::placement::{CacheStats, PlacementAlgorithm, PlacementCache};
+use crate::runtime::orchestrator::{JobRecord, RunReport};
+use crate::runtime::AdmissionPolicy;
+use crate::schedule::Scheduler;
+use crate::workload::{Workload, WorkloadJob};
+use cloudqc_cloud::{Cloud, CloudStatus};
+use cloudqc_sim::online::OnlineReport;
+use cloudqc_sim::series::{BatchStats, LatencyBreakdown};
+use cloudqc_sim::Tick;
+
+/// The full runtime configuration one epoch runs under — shared
+/// verbatim between the one-shot [`crate::runtime::Orchestrator`] and
+/// the resident [`Service`] so the two can never drift apart.
+#[derive(Copy, Clone)]
+pub(crate) struct RuntimeConfig<'a> {
+    pub(crate) cloud: &'a Cloud,
+    pub(crate) placement: &'a dyn PlacementAlgorithm,
+    pub(crate) scheduler: &'a dyn Scheduler,
+    pub(crate) admission: AdmissionPolicy,
+    pub(crate) path_reservation: bool,
+    pub(crate) placement_cache: bool,
+    pub(crate) cache_quantum: usize,
+    pub(crate) cache_capacity: usize,
+    pub(crate) batched_allocation: bool,
+    pub(crate) sharded_front_layer: bool,
+    pub(crate) fingerprint_seeding: bool,
+    pub(crate) seed: u64,
+}
+
+/// Lifetime summary of a [`Service`]: everything it aggregated across
+/// every epoch driven so far.
+#[derive(Clone, Debug)]
+pub struct ServiceReport {
+    /// Epochs driven to completion.
+    pub epochs: u64,
+    /// Jobs completed across all epochs.
+    pub completed: u64,
+    /// Jobs rejected across all epochs (communication starvation or
+    /// SLA expiry).
+    pub rejected: u64,
+    /// The streaming metrics aggregated over every completion.
+    pub online: OnlineReport,
+    /// Lifetime hit/miss/eviction counters of the persistent placement
+    /// cache (all zero when the cache is disabled).
+    pub placement_cache: CacheStats,
+    /// Entries currently resident in the persistent cache.
+    pub cache_entries: usize,
+    /// Lifetime allocation-pass work counters summed over every
+    /// epoch's executor.
+    pub allocation: AllocStats,
+    /// Lifetime same-tick event-batch distribution summed over every
+    /// epoch's executor.
+    pub event_batches: BatchStats,
+}
+
+/// A resident runtime serving jobs in epochs over long-lived state.
+///
+/// Construct one through
+/// [`crate::runtime::Orchestrator::into_service`] (inheriting every
+/// configured knob) or [`Service::new`] for the defaults.
+///
+/// # Example
+///
+/// ```
+/// use cloudqc_circuit::generators::catalog;
+/// use cloudqc_cloud::CloudBuilder;
+/// use cloudqc_core::placement::CloudQcPlacement;
+/// use cloudqc_core::runtime::Service;
+/// use cloudqc_core::schedule::CloudQcScheduler;
+/// use cloudqc_core::workload::Workload;
+///
+/// let cloud = CloudBuilder::paper_default(1).build();
+/// let placement = CloudQcPlacement::default();
+/// let mut service = Service::new(&cloud, &placement, &CloudQcScheduler, 7);
+/// let pool = vec![catalog::by_name("qft_n29").unwrap()];
+/// let workload = Workload::poisson(&pool, 3, 5_000.0, 7);
+///
+/// // Epoch 1 fills the persistent cache; epoch 2 runs warm.
+/// service.submit_workload(&workload);
+/// let cold = service.drive().unwrap();
+/// service.submit_workload(&workload);
+/// let warm = service.drive().unwrap();
+/// assert_eq!(cold.completion_times(), warm.completion_times());
+/// assert!(warm.placement_cache.hits > 0);
+///
+/// let report = service.drain().unwrap();
+/// assert_eq!(report.epochs, 2);
+/// assert_eq!(report.completed, 6);
+/// assert!(report.online.mean_completion_time() > 0.0);
+/// ```
+pub struct Service<'a> {
+    cfg: RuntimeConfig<'a>,
+    /// The persistent placement cache (None when disabled by config).
+    cache: Option<PlacementCache>,
+    /// Streaming metrics over every completion the service has seen.
+    online: OnlineReport,
+    /// Jobs submitted since the last `drive`.
+    pending: Vec<WorkloadJob>,
+    epochs: u64,
+    completed: u64,
+    rejected: u64,
+    allocation: AllocStats,
+    event_batches: BatchStats,
+}
+
+impl<'a> Service<'a> {
+    /// A resident service with the default runtime configuration
+    /// (priority-aware backfill admission, placement cache on, exact
+    /// cache signature, batched allocation, sharded front layer,
+    /// fingerprint seeding) — the same defaults as
+    /// [`crate::runtime::Orchestrator::new`].
+    pub fn new(
+        cloud: &'a Cloud,
+        placement: &'a dyn PlacementAlgorithm,
+        scheduler: &'a dyn Scheduler,
+        seed: u64,
+    ) -> Self {
+        crate::runtime::Orchestrator::new(cloud, placement, scheduler, seed).into_service()
+    }
+
+    pub(crate) fn from_config(cfg: RuntimeConfig<'a>) -> Self {
+        let cache = cfg.placement_cache.then(|| {
+            PlacementCache::with_quantum(cfg.cache_quantum).with_capacity(cfg.cache_capacity)
+        });
+        Service {
+            cache,
+            online: OnlineReport::new(cfg.seed),
+            pending: Vec::new(),
+            epochs: 0,
+            completed: 0,
+            rejected: 0,
+            allocation: AllocStats::default(),
+            event_batches: BatchStats::default(),
+            cfg,
+        }
+    }
+
+    /// Sets the streaming report's completion-time reservoir capacity
+    /// (default [`OnlineReport::DEFAULT_RESERVOIR`]): percentiles are
+    /// exact up to this many completions, bounded-memory estimates
+    /// beyond. Must be called before any epoch records anything — it
+    /// replaces the streaming report, and replacing a non-empty one
+    /// would desynchronize it from the lifetime counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`, or if the service has already
+    /// recorded completions or rejections.
+    pub fn with_reservoir_capacity(mut self, capacity: usize) -> Self {
+        assert!(
+            self.online.completed() == 0 && self.online.rejected() == 0,
+            "set the reservoir capacity before driving any epoch"
+        );
+        self.online = OnlineReport::with_reservoir(capacity, self.cfg.seed);
+        self
+    }
+
+    /// Buffers one job (default tenant metadata) for the next epoch;
+    /// returns its index within that epoch.
+    pub fn submit(&mut self, circuit: cloudqc_circuit::Circuit, arrival: Tick) -> usize {
+        self.submit_job(WorkloadJob::new(circuit, arrival))
+    }
+
+    /// Buffers one job with explicit tenant/weight/deadline metadata;
+    /// returns its index within the next epoch.
+    pub fn submit_job(&mut self, job: WorkloadJob) -> usize {
+        self.pending.push(job);
+        self.pending.len() - 1
+    }
+
+    /// Buffers every job of `workload` for the next epoch.
+    pub fn submit_workload(&mut self, workload: &Workload) {
+        self.pending.extend(workload.jobs().iter().cloned());
+    }
+
+    /// Jobs buffered for the next epoch.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Epochs driven to completion so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// The streaming metrics aggregated so far.
+    pub fn online(&self) -> &OnlineReport {
+        &self.online
+    }
+
+    /// Lifetime counters of the persistent placement cache (zeroed
+    /// when the cache is disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.as_ref().map(|c| c.stats()).unwrap_or_default()
+    }
+
+    /// Entries currently resident in the persistent cache.
+    pub fn cache_entries(&self) -> usize {
+        self.cache.as_ref().map(|c| c.len()).unwrap_or_default()
+    }
+
+    /// Snapshot of the lifetime totals without driving anything.
+    pub fn report(&self) -> ServiceReport {
+        ServiceReport {
+            epochs: self.epochs,
+            completed: self.completed,
+            rejected: self.rejected,
+            online: self.online.clone(),
+            placement_cache: self.cache_stats(),
+            cache_entries: self.cache_entries(),
+            allocation: self.allocation,
+            event_batches: self.event_batches.clone(),
+        }
+    }
+
+    /// Flushes any buffered submissions through one final epoch and
+    /// returns the lifetime totals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the flush epoch's [`PlacementError`], if any.
+    pub fn drain(&mut self) -> Result<ServiceReport, PlacementError> {
+        if !self.pending.is_empty() {
+            self.drive()?;
+        }
+        Ok(self.report())
+    }
+
+    /// Runs every buffered submission to completion as one epoch and
+    /// reports it. The epoch's simulation clock starts at tick 0 over
+    /// an idle cloud; the persistent cache and streaming metrics carry
+    /// over from previous epochs.
+    ///
+    /// The returned [`RunReport`] is *per-epoch*: its
+    /// [`RunReport::placement_cache`] counters are the deltas this
+    /// epoch added to the persistent cache (so a fully-warm epoch shows
+    /// hits with zero misses), and its outcome records are this epoch's
+    /// only. Lifetime aggregates accumulate on the service
+    /// ([`Service::report`]).
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError`] if some job can never be placed even on an
+    /// idle cloud (it would otherwise wait forever). Jobs whose
+    /// *placement* succeeds but can never *execute* (communication
+    /// starvation), and jobs whose SLA expired under deadline-aware
+    /// admission, are rejected in the report, not errors. A failed
+    /// epoch consumes its submissions but contributes *nothing* to the
+    /// streaming metrics or lifetime counters — the pre-epoch report is
+    /// restored, so [`Service::report`] stays internally consistent
+    /// (only placement-cache entries warmed before the failure remain,
+    /// which is observable solely as speed).
+    pub fn drive(&mut self) -> Result<RunReport, PlacementError> {
+        let jobs = std::mem::take(&mut self.pending);
+        let cache_before = self.cache_stats();
+        let online_before = self.online.clone();
+        let report = match self.run_epoch(&jobs) {
+            Ok(report) => report,
+            Err(e) => {
+                // Roll back the partial epoch's streaming records so
+                // the lifetime counters (which only advance below, on
+                // success) and the online report never diverge.
+                self.online = online_before;
+                return Err(e);
+            }
+        };
+        self.epochs += 1;
+        self.completed += report.outcomes.len() as u64;
+        self.rejected += report.rejected.len() as u64;
+        self.allocation.merge(report.allocation);
+        self.event_batches.merge(&report.event_batches);
+        Ok(RunReport {
+            placement_cache: self.cache_stats().since(&cache_before),
+            ..report
+        })
+    }
+
+    /// The event loop of one epoch — the code that was
+    /// `Orchestrator::run` before the service refactor, operating on
+    /// the service's persistent cache and metrics.
+    fn run_epoch(&mut self, jobs: &[WorkloadJob]) -> Result<RunReport, PlacementError> {
+        let cfg = self.cfg;
+        let cache = &mut self.cache;
+        let online = &mut self.online;
+        let n = jobs.len();
+        // Arrival order (stable on ties: workload index).
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| jobs[i].arrival);
+        let circuits: Vec<&cloudqc_circuit::Circuit> = jobs.iter().map(|j| &j.circuit).collect();
+        let ctx = cfg.admission.prepare(jobs, cfg.cloud);
+
+        let mut status = cfg.cloud.status();
+        let mut exec = Executor::new(cfg.cloud, cfg.scheduler, cfg.seed)
+            .with_path_reservation(cfg.path_reservation)
+            .with_batched_allocation(cfg.batched_allocation)
+            .with_sharded_front_layer(cfg.sharded_front_layer);
+        // One fingerprint per job, computed up front so cache lookups
+        // on the admission hot path are O(qpus), not O(gates).
+        let fingerprints: Vec<cloudqc_circuit::Fingerprint> =
+            if cache.is_some() || cfg.fingerprint_seeding {
+                circuits.iter().map(|c| c.fingerprint()).collect()
+            } else {
+                Vec::new()
+            };
+        let mut waiting: Vec<usize> = Vec::new();
+        // exec job id -> (workload index, demand vector)
+        let mut admitted: Vec<(usize, Vec<usize>)> = Vec::new();
+        let mut outcomes: Vec<Option<JobRecord>> = vec![None; n];
+        let mut rejected: Vec<(usize, ExecError)> = Vec::new();
+        let mut next_arrival = 0usize;
+
+        let record = |exec: &Executor,
+                      admitted: &[(usize, Vec<usize>)],
+                      status: &mut CloudStatus,
+                      outcomes: &mut Vec<Option<JobRecord>>,
+                      online: &mut OnlineReport,
+                      finished: Vec<usize>| {
+            for exec_id in finished {
+                let (job_idx, demand) = &admitted[exec_id];
+                status.release_all_computing(demand);
+                let result = exec.job_result(exec_id).expect("job finished");
+                let arrived = jobs[*job_idx].arrival;
+                let queueing = result.started_at - arrived;
+                let service = result.finished_at - result.started_at;
+                let breakdown =
+                    LatencyBreakdown::new(queueing, result.epr_wait, service - result.epr_wait);
+                let completion_time = Tick::new(result.finished_at - arrived);
+                online.record_completion(completion_time, breakdown, result.finished_at);
+                outcomes[*job_idx] = Some(JobRecord {
+                    job: *job_idx,
+                    arrived_at: arrived,
+                    admitted_at: result.started_at,
+                    finished_at: result.finished_at,
+                    completion_time,
+                    remote_gates: result.remote_gates,
+                    epr_rounds: result.epr_rounds,
+                    qubits: demand.iter().sum(),
+                    breakdown,
+                });
+            }
+        };
+
+        loop {
+            // Admit every waiting job the policy and resources allow.
+            let mut i = 0;
+            while i < waiting.len() {
+                let job_idx = waiting[i];
+                // SLA admission control: prune jobs whose deadline can
+                // no longer be met instead of retrying them forever.
+                if let Some(deadline) = cfg.admission.sla_violation(&ctx, job_idx, exec.now()) {
+                    rejected.push((
+                        job_idx,
+                        ExecError::SlaExpired {
+                            deadline,
+                            now: exec.now(),
+                        },
+                    ));
+                    online.record_rejection();
+                    waiting.remove(i);
+                    continue;
+                }
+                let job_seed = if cfg.fingerprint_seeding {
+                    cfg.seed ^ fingerprints[job_idx].as_u64()
+                } else {
+                    cfg.seed ^ (job_idx as u64) << 17
+                };
+                let placed = match cache.as_mut() {
+                    Some(cache) => cache.place_fingerprinted(
+                        fingerprints[job_idx],
+                        cfg.placement,
+                        circuits[job_idx],
+                        cfg.cloud,
+                        &status,
+                        job_seed,
+                    ),
+                    None => cfg
+                        .placement
+                        .place(circuits[job_idx], cfg.cloud, &status, job_seed),
+                };
+                match placed {
+                    Ok(p) => {
+                        let demand = p.qpu_demand(cfg.cloud.qpu_count());
+                        match exec.try_add_job(circuits[job_idx], &p) {
+                            Ok(exec_id) => {
+                                status
+                                    .allocate_all_computing(&demand)
+                                    .expect("placement.fits was checked by the algorithm");
+                                debug_assert_eq!(exec_id, admitted.len());
+                                admitted.push((job_idx, demand));
+                                waiting.remove(i);
+                            }
+                            Err(e) => {
+                                // The placement can never execute:
+                                // reject the job, keep the run going.
+                                rejected.push((job_idx, e));
+                                online.record_rejection();
+                                waiting.remove(i);
+                            }
+                        }
+                    }
+                    Err(PlacementError::InsufficientCapacity { required, .. })
+                        if required > cfg.cloud.total_computing_capacity() =>
+                    {
+                        // Impossible even on an idle cloud: fail the run.
+                        return Err(PlacementError::InsufficientCapacity {
+                            required,
+                            available: cfg.cloud.total_computing_capacity(),
+                        });
+                    }
+                    Err(_) => {
+                        // Cannot fit now: wait. Under FCFS the head
+                        // blocks the queue; otherwise later jobs may
+                        // backfill.
+                        if cfg.admission.head_of_line_blocks() {
+                            break;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+
+            // Advance: to the next arrival if one is pending, else to
+            // the next completion.
+            if next_arrival < order.len() {
+                let arrival_time = jobs[order[next_arrival]].arrival;
+                let finished = exec.run_until(arrival_time);
+                record(
+                    &exec,
+                    &admitted,
+                    &mut status,
+                    &mut outcomes,
+                    online,
+                    finished,
+                );
+                // Enqueue every job arriving at this instant.
+                while next_arrival < order.len()
+                    && jobs[order[next_arrival]].arrival <= arrival_time
+                {
+                    cfg.admission
+                        .enqueue(&mut waiting, order[next_arrival], ctx.metrics());
+                    next_arrival += 1;
+                }
+            } else if exec.unfinished_jobs() > 0 {
+                let finished = exec.run_until_next_completion();
+                if finished.is_empty() && !waiting.is_empty() {
+                    return Err(PlacementError::NoFeasiblePlacement);
+                }
+                record(
+                    &exec,
+                    &admitted,
+                    &mut status,
+                    &mut outcomes,
+                    online,
+                    finished,
+                );
+            } else {
+                // Gate-less circuits finish inside try_add_job without
+                // raising unfinished_jobs; drain them before deciding
+                // the run is over (run_until_next_completion returns
+                // the buffered completions without stepping).
+                let finished = exec.run_until_next_completion();
+                if !finished.is_empty() {
+                    record(
+                        &exec,
+                        &admitted,
+                        &mut status,
+                        &mut outcomes,
+                        online,
+                        finished,
+                    );
+                } else if waiting.is_empty() {
+                    break;
+                } else {
+                    // Idle executor, no arrivals left, jobs still
+                    // waiting: they must fit the (fully free) cloud or
+                    // never will.
+                    return Err(PlacementError::NoFeasiblePlacement);
+                }
+            }
+        }
+
+        let outcomes: Vec<JobRecord> = outcomes.into_iter().flatten().collect();
+        debug_assert_eq!(outcomes.len() + rejected.len(), n, "every job accounted");
+        let makespan = outcomes
+            .iter()
+            .map(|o| o.finished_at)
+            .max()
+            .unwrap_or(Tick::ZERO);
+        let final_free_computing: Vec<usize> = (0..cfg.cloud.qpu_count())
+            .map(|i| status.free_computing(cloudqc_cloud::QpuId::new(i)))
+            .collect();
+        Ok(RunReport {
+            outcomes,
+            rejected,
+            makespan,
+            final_free_computing,
+            final_free_communication: exec.comm_free().to_vec(),
+            placement_cache: cache.as_ref().map(|c| c.stats()).unwrap_or_default(),
+            event_batches: exec.batch_stats().clone(),
+            allocation: exec.alloc_stats(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::CloudQcPlacement;
+    use crate::runtime::Orchestrator;
+    use crate::schedule::CloudQcScheduler;
+    use cloudqc_circuit::generators::catalog;
+    use cloudqc_cloud::CloudBuilder;
+
+    fn pool() -> Vec<cloudqc_circuit::Circuit> {
+        vec![
+            catalog::by_name("qugan_n39").unwrap(),
+            catalog::by_name("qft_n29").unwrap(),
+            catalog::by_name("ghz_n40").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn epochs_accumulate_lifetime_totals() {
+        let cloud = CloudBuilder::paper_default(3).build();
+        let placement = CloudQcPlacement::default();
+        let mut svc = Service::new(&cloud, &placement, &CloudQcScheduler, 5);
+        assert_eq!(svc.pending(), 0);
+        let w = Workload::poisson(&pool(), 4, 3_000.0, 5);
+        svc.submit_workload(&w);
+        assert_eq!(svc.pending(), 4);
+        let e1 = svc.drive().unwrap();
+        assert_eq!(svc.pending(), 0);
+        svc.submit_workload(&w);
+        let e2 = svc.drive().unwrap();
+        assert_eq!(svc.epochs(), 2);
+        let report = svc.report();
+        assert_eq!(
+            report.completed,
+            (e1.outcomes.len() + e2.outcomes.len()) as u64
+        );
+        assert_eq!(report.online.completed(), report.completed);
+        assert_eq!(
+            report.allocation.rounds,
+            e1.allocation.rounds + e2.allocation.rounds
+        );
+        assert_eq!(
+            report.event_batches.ticks(),
+            e1.event_batches.ticks() + e2.event_batches.ticks()
+        );
+        // Per-epoch cache stats are deltas; lifetime is their sum.
+        assert_eq!(
+            report.placement_cache.hits,
+            e1.placement_cache.hits + e2.placement_cache.hits
+        );
+        assert_eq!(
+            report.placement_cache.misses,
+            e1.placement_cache.misses + e2.placement_cache.misses
+        );
+        assert!(report.cache_entries > 0);
+    }
+
+    #[test]
+    fn warm_epoch_hits_the_persistent_cache_with_identical_outcomes() {
+        let cloud = CloudBuilder::paper_default(7).build();
+        let placement = CloudQcPlacement::default();
+        let w = Workload::batch(pool());
+        let mut svc = Service::new(&cloud, &placement, &CloudQcScheduler, 11);
+        svc.submit_workload(&w);
+        let cold = svc.drive().unwrap();
+        svc.submit_workload(&w);
+        let warm = svc.drive().unwrap();
+        assert_eq!(cold.outcomes, warm.outcomes);
+        assert!(warm.placement_cache.hits > 0, "warm epoch never hit");
+        assert!(
+            warm.placement_cache.misses < cold.placement_cache.misses,
+            "warm epoch should re-place less: {:?} vs {:?}",
+            warm.placement_cache,
+            cold.placement_cache
+        );
+    }
+
+    #[test]
+    fn drain_flushes_pending_submissions() {
+        let cloud = CloudBuilder::paper_default(2).build();
+        let placement = CloudQcPlacement::default();
+        let mut svc = Service::new(&cloud, &placement, &CloudQcScheduler, 3);
+        for c in pool() {
+            svc.submit(c, Tick::ZERO);
+        }
+        let report = svc.drain().unwrap();
+        assert_eq!(report.epochs, 1);
+        assert_eq!(report.completed, 3);
+        assert_eq!(report.rejected, 0);
+        // Draining an idle service is a no-op snapshot.
+        let again = svc.drain().unwrap();
+        assert_eq!(again.epochs, 1);
+        assert_eq!(again.completed, 3);
+    }
+
+    #[test]
+    fn empty_epoch_is_a_clean_noop() {
+        let cloud = CloudBuilder::paper_default(2).build();
+        let placement = CloudQcPlacement::default();
+        let mut svc = Service::new(&cloud, &placement, &CloudQcScheduler, 3);
+        let report = svc.drive().unwrap();
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.makespan, Tick::ZERO);
+        assert_eq!(svc.epochs(), 1);
+    }
+
+    #[test]
+    fn service_inherits_orchestrator_configuration() {
+        // A service built from a configured orchestrator runs the same
+        // epoch the orchestrator would run.
+        let cloud = CloudBuilder::paper_default(9).build();
+        let placement = CloudQcPlacement::default();
+        let w = Workload::poisson(&pool(), 5, 2_000.0, 9);
+        let orch = Orchestrator::new(&cloud, &placement, &CloudQcScheduler, 9)
+            .with_admission(AdmissionPolicy::ShortestJobFirst)
+            .with_cache_quantum(2);
+        let direct = orch.run(&w).unwrap();
+        let mut svc = orch.into_service();
+        svc.submit_workload(&w);
+        let epoch = svc.drive().unwrap();
+        assert_eq!(direct.outcomes, epoch.outcomes);
+        assert_eq!(direct.rejected, epoch.rejected);
+    }
+
+    #[test]
+    fn failed_epoch_leaves_lifetime_and_streaming_reports_consistent() {
+        // Job 0 completes before job 1 even arrives; job 1 can never
+        // fit the whole cloud, so the epoch errors *after* a completion
+        // was streamed. The rollback must keep the lifetime counters
+        // and the online report in lockstep (both untouched).
+        let cloud = CloudBuilder::new(2)
+            .computing_qubits(8)
+            .line_topology()
+            .build();
+        let placement = CloudQcPlacement::default();
+        let mut svc = Service::new(&cloud, &placement, &CloudQcScheduler, 3);
+        svc.submit(catalog::by_name("vqe_n4").unwrap(), Tick::ZERO);
+        svc.submit(catalog::by_name("ghz_n25").unwrap(), Tick::new(100_000));
+        let err = svc.drive().unwrap_err();
+        assert!(matches!(err, PlacementError::InsufficientCapacity { .. }));
+        let report = svc.report();
+        assert_eq!(report.epochs, 0);
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.online.completed(), 0);
+        assert_eq!(report.online.rejected(), 0);
+        assert_eq!(report.online.throughput_per_tick(), 0.0);
+        assert_eq!(svc.pending(), 0, "a failed epoch consumes submissions");
+        // The service remains usable: a clean epoch still works.
+        svc.submit(catalog::by_name("vqe_n4").unwrap(), Tick::ZERO);
+        let ok = svc.drive().unwrap();
+        assert_eq!(ok.outcomes.len(), 1);
+        assert_eq!(svc.report().completed, 1);
+        assert_eq!(svc.online().completed(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "before driving any epoch")]
+    fn reservoir_capacity_cannot_change_after_recording() {
+        let cloud = CloudBuilder::paper_default(2).build();
+        let placement = CloudQcPlacement::default();
+        let mut svc = Service::new(&cloud, &placement, &CloudQcScheduler, 3);
+        svc.submit(catalog::by_name("vqe_n4").unwrap(), Tick::ZERO);
+        svc.drive().unwrap();
+        let _ = svc.with_reservoir_capacity(16);
+    }
+
+    #[test]
+    fn deadline_policy_rejects_expired_jobs_in_service_runs() {
+        // A tiny cloud serializes three identical jobs; with an SLA
+        // budget only slightly above one service time, the third job's
+        // deadline expires while it queues and it must be rejected.
+        let cloud = CloudBuilder::new(3)
+            .computing_qubits(10)
+            .line_topology()
+            .build();
+        let placement = CloudQcPlacement::default();
+        let probe = Orchestrator::new(&cloud, &placement, &CloudQcScheduler, 1)
+            .run(&Workload::batch(vec![catalog::by_name("ghz_n25").unwrap()]))
+            .unwrap();
+        let service_time = probe.makespan.as_ticks();
+        let w = Workload::batch(vec![catalog::by_name("ghz_n25").unwrap(); 3])
+            .with_uniform_sla(service_time * 2);
+        let mut svc = Orchestrator::new(&cloud, &placement, &CloudQcScheduler, 1)
+            .with_admission(AdmissionPolicy::DeadlineAware)
+            .into_service();
+        svc.submit_workload(&w);
+        let report = svc.drive().unwrap();
+        assert!(
+            report
+                .rejected
+                .iter()
+                .any(|(_, e)| matches!(e, ExecError::SlaExpired { .. })),
+            "no SLA rejection: completed {}, rejected {:?}",
+            report.outcomes.len(),
+            report.rejected
+        );
+        assert_eq!(report.outcomes.len() + report.rejected.len(), 3);
+        assert_eq!(svc.online().rejected(), report.rejected.len() as u64);
+    }
+}

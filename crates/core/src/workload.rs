@@ -1,24 +1,56 @@
 //! Seed-deterministic workload generators for the runtime layer.
 //!
 //! A [`Workload`] is a list of circuits with arrival times — the input
-//! of the [`crate::runtime::Orchestrator`]. Generators cover the
-//! paper's batch mode (§VI.D: everything arrives at `t = 0`), the
-//! open-arrival incoming mode (§V.B: Poisson arrivals), bursty traffic,
-//! and replay of explicit traces. All stochastic generators draw from
-//! forked [`SimRng`] streams, so the same seed always produces the same
-//! workload.
+//! of the [`crate::runtime::Orchestrator`] and the resident
+//! [`crate::runtime::Service`]. Generators cover the paper's batch mode
+//! (§VI.D: everything arrives at `t = 0`), the open-arrival incoming
+//! mode (§V.B: Poisson arrivals), bursty traffic, replay of explicit
+//! traces, *diurnal* traffic (a sinusoidally rate-modulated Poisson
+//! process, the day/night curve a long-lived service faces), and
+//! heavy-tailed ([`Workload::pareto_sizes`]) job-size streams. All
+//! stochastic generators draw from forked [`SimRng`] streams, so the
+//! same seed always produces the same workload.
+//!
+//! Jobs additionally carry multi-tenancy metadata for the admission
+//! policies: a tenant id and fair-share weight
+//! ([`Workload::assign_round_robin_tenants`]) and an optional absolute
+//! SLA deadline ([`Workload::with_uniform_sla`]), consumed by the
+//! weighted-fair-share and deadline-aware policies respectively.
 
 use cloudqc_circuit::Circuit;
 use cloudqc_sim::{SimRng, Tick};
 use rand::RngExt;
 
-/// One job of a workload: a circuit and its arrival time.
+/// One job of a workload: a circuit, its arrival time, and the
+/// multi-tenancy metadata the admission policies consume.
 #[derive(Clone, Debug, PartialEq)]
 pub struct WorkloadJob {
     /// The circuit to place and execute.
     pub circuit: Circuit,
     /// When the job arrives at the cloud.
     pub arrival: Tick,
+    /// The submitting tenant (0 when the workload is single-tenant).
+    pub tenant: usize,
+    /// The tenant's fair-share weight (1.0 by default); consumed by
+    /// [`crate::runtime::AdmissionPolicy::WeightedFairShare`].
+    pub weight: f64,
+    /// Absolute SLA deadline (arrival + SLA budget), if any; consumed
+    /// by [`crate::runtime::AdmissionPolicy::DeadlineAware`].
+    pub deadline: Option<Tick>,
+}
+
+impl WorkloadJob {
+    /// A single-tenant, weight-1, deadline-free job — the default
+    /// metadata every generator starts from.
+    pub fn new(circuit: Circuit, arrival: Tick) -> Self {
+        WorkloadJob {
+            circuit,
+            arrival,
+            tenant: 0,
+            weight: 1.0,
+            deadline: None,
+        }
+    }
 }
 
 /// A set of jobs with arrival times, in submission order.
@@ -36,10 +68,7 @@ impl Workload {
         Workload {
             jobs: circuits
                 .into_iter()
-                .map(|circuit| WorkloadJob {
-                    circuit,
-                    arrival: Tick::ZERO,
-                })
+                .map(|circuit| WorkloadJob::new(circuit, Tick::ZERO))
                 .collect(),
         }
     }
@@ -51,7 +80,7 @@ impl Workload {
         Workload {
             jobs: jobs
                 .into_iter()
-                .map(|(circuit, arrival)| WorkloadJob { circuit, arrival })
+                .map(|(circuit, arrival)| WorkloadJob::new(circuit, arrival))
                 .collect(),
         }
     }
@@ -84,10 +113,7 @@ impl Workload {
             jobs: arrivals
                 .into_iter()
                 .enumerate()
-                .map(|(i, arrival)| WorkloadJob {
-                    circuit: pool[i % pool.len()].clone(),
-                    arrival,
-                })
+                .map(|(i, arrival)| WorkloadJob::new(pool[i % pool.len()].clone(), arrival))
                 .collect(),
         }
     }
@@ -127,18 +153,187 @@ impl Workload {
             }
             for j in 0..jobs_per_burst {
                 let i = burst * jobs_per_burst + j;
-                jobs.push(WorkloadJob {
-                    circuit: pool[i % pool.len()].clone(),
-                    arrival: Tick::new(t as u64),
-                });
+                jobs.push(WorkloadJob::new(
+                    pool[i % pool.len()].clone(),
+                    Tick::new(t as u64),
+                ));
             }
         }
         Workload { jobs }
     }
 
+    /// Diurnal traffic: `n` jobs drawn round-robin from `pool`, arriving
+    /// as a *non-homogeneous* Poisson process whose rate follows a
+    /// day/night curve — `λ(t) = (1 + amplitude·sin(2πt/period)) /
+    /// mean_interarrival`. `amplitude` in `[0, 1)` sets how deep the
+    /// trough is relative to the mean rate (0 degenerates to
+    /// [`Workload::poisson`]’s homogeneous process, statistically).
+    /// Sampled by Lewis–Shedler thinning at the peak rate, so the
+    /// stream is deterministic per seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool` is empty (with `n > 0`), the mean is not
+    /// positive and finite, `period == 0`, or `amplitude` is outside
+    /// `[0, 1)`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cloudqc_circuit::generators::catalog;
+    /// use cloudqc_core::workload::Workload;
+    ///
+    /// let pool = vec![catalog::by_name("vqe_n4").unwrap()];
+    /// let w = Workload::diurnal(&pool, 6, 1_000.0, 20_000, 0.8, 7);
+    /// assert_eq!(w.len(), 6);
+    /// assert_eq!(w, Workload::diurnal(&pool, 6, 1_000.0, 20_000, 0.8, 7));
+    /// ```
+    pub fn diurnal(
+        pool: &[Circuit],
+        n: usize,
+        mean_interarrival: f64,
+        period: u64,
+        amplitude: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(n == 0 || !pool.is_empty(), "circuit pool must be non-empty");
+        assert!(
+            mean_interarrival.is_finite() && mean_interarrival > 0.0,
+            "mean inter-arrival must be positive"
+        );
+        assert!(period > 0, "diurnal period must be positive");
+        assert!(
+            (0.0..1.0).contains(&amplitude),
+            "diurnal amplitude must be in [0, 1)"
+        );
+        let mut rng = SimRng::new(seed).fork("diurnal").into_std();
+        let peak_rate = (1.0 + amplitude) / mean_interarrival;
+        let rate_at = |t: f64| {
+            (1.0 + amplitude * (std::f64::consts::TAU * t / period as f64).sin())
+                / mean_interarrival
+        };
+        let mut t = 0.0f64;
+        let mut jobs = Vec::with_capacity(n);
+        while jobs.len() < n {
+            // Candidate from the homogeneous peak-rate process …
+            let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+            t += -u.ln() / peak_rate;
+            // … thinned to the instantaneous rate.
+            let accept: f64 = rng.random_range(0.0..1.0);
+            if accept < rate_at(t) / peak_rate {
+                let i = jobs.len();
+                jobs.push(WorkloadJob::new(
+                    pool[i % pool.len()].clone(),
+                    Tick::new(t as u64),
+                ));
+            }
+        }
+        Workload { jobs }
+    }
+
+    /// Heavy-tailed job sizes: `n` Poisson arrivals whose qubit counts
+    /// are drawn from a Pareto(`alpha`, `min_qubits`) distribution
+    /// clamped to `max_qubits`, each materialized by `build` (e.g.
+    /// `cloudqc_circuit::generators::ghz`). Small `alpha` (≤ 2) yields
+    /// the elephant-and-mice mix that stresses admission policies:
+    /// mostly small jobs, a fat tail of huge ones. Deterministic per
+    /// seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not positive and finite, the size bounds
+    /// are empty or inverted (`min_qubits == 0` or `max_qubits <
+    /// min_qubits`), or the mean inter-arrival is not positive and
+    /// finite.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cloudqc_circuit::generators::ghz::ghz;
+    /// use cloudqc_core::workload::Workload;
+    ///
+    /// let w = Workload::pareto_sizes(ghz, 8, 1.5, 4, 40, 1_000.0, 7);
+    /// assert_eq!(w.len(), 8);
+    /// assert!(w.jobs().iter().all(|j| (4..=40).contains(&j.circuit.num_qubits())));
+    /// ```
+    pub fn pareto_sizes(
+        build: impl Fn(usize) -> Circuit,
+        n: usize,
+        alpha: f64,
+        min_qubits: usize,
+        max_qubits: usize,
+        mean_interarrival: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "Pareto shape must be positive"
+        );
+        assert!(
+            min_qubits > 0 && max_qubits >= min_qubits,
+            "size bounds must satisfy 0 < min <= max"
+        );
+        let mut rng = SimRng::new(seed).fork("pareto").into_std();
+        let arrivals = poisson_arrivals(n, mean_interarrival, seed);
+        let jobs = arrivals
+            .into_iter()
+            .map(|arrival| {
+                // Inverse-transform Pareto: x = x_m / u^(1/α).
+                let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+                let size = (min_qubits as f64 / u.powf(1.0 / alpha)) as usize;
+                WorkloadJob::new(build(size.min(max_qubits)), arrival)
+            })
+            .collect();
+        Workload { jobs }
+    }
+
+    /// Assigns tenants round-robin — job `i` belongs to tenant `i %
+    /// weights.len()` with that tenant's fair-share weight — the
+    /// simplest multi-tenant overlay for exercising
+    /// [`crate::runtime::AdmissionPolicy::WeightedFairShare`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or any weight is not positive and
+    /// finite.
+    pub fn assign_round_robin_tenants(mut self, weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "at least one tenant weight required");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "tenant weights must be positive"
+        );
+        for (i, job) in self.jobs.iter_mut().enumerate() {
+            job.tenant = i % weights.len();
+            job.weight = weights[job.tenant];
+        }
+        self
+    }
+
+    /// Gives every job the same SLA budget: its deadline becomes
+    /// `arrival + sla_ticks`. Consumed by
+    /// [`crate::runtime::AdmissionPolicy::DeadlineAware`], which rejects
+    /// jobs that can no longer meet their deadline instead of letting
+    /// them rot in the queue.
+    pub fn with_uniform_sla(mut self, sla_ticks: u64) -> Self {
+        for job in &mut self.jobs {
+            job.deadline = Some(Tick::new(job.arrival.as_ticks() + sla_ticks));
+        }
+        self
+    }
+
     /// The jobs, in submission order.
     pub fn jobs(&self) -> &[WorkloadJob] {
         &self.jobs
+    }
+
+    /// Number of distinct tenants (1 for any single-tenant workload
+    /// with jobs, 0 when empty).
+    pub fn tenant_count(&self) -> usize {
+        self.jobs
+            .iter()
+            .map(|j| j.tenant + 1)
+            .max()
+            .unwrap_or_default()
     }
 
     /// Number of jobs.
@@ -280,5 +475,91 @@ mod tests {
     #[should_panic(expected = "pool must be non-empty")]
     fn poisson_rejects_empty_pool() {
         Workload::poisson(&[], 3, 100.0, 0);
+    }
+
+    #[test]
+    fn generators_default_to_single_tenant_no_sla() {
+        let w = Workload::poisson(&pool(), 4, 500.0, 3);
+        for j in w.jobs() {
+            assert_eq!(j.tenant, 0);
+            assert_eq!(j.weight, 1.0);
+            assert_eq!(j.deadline, None);
+        }
+        assert_eq!(w.tenant_count(), 1);
+        assert_eq!(Workload::batch(Vec::new()).tenant_count(), 0);
+    }
+
+    #[test]
+    fn diurnal_is_deterministic_sorted_and_modulated() {
+        let p = pool();
+        let period = 10_000u64;
+        let a = Workload::diurnal(&p, 200, 200.0, period, 0.9, 11);
+        assert_eq!(a, Workload::diurnal(&p, 200, 200.0, period, 0.9, 11));
+        assert_eq!(a.len(), 200);
+        for pair in a.jobs().windows(2) {
+            assert!(pair[0].arrival <= pair[1].arrival);
+        }
+        // The first half-period (rate above mean) must receive more
+        // arrivals than the second (rate below mean) — the signature of
+        // the day/night curve. Count over the first full period only.
+        let (mut peak, mut trough) = (0usize, 0usize);
+        for j in a.jobs() {
+            let phase = j.arrival.as_ticks() % period;
+            if j.arrival.as_ticks() < period {
+                if phase < period / 2 {
+                    peak += 1;
+                } else {
+                    trough += 1;
+                }
+            }
+        }
+        assert!(
+            peak > trough,
+            "diurnal peak ({peak}) should outdraw trough ({trough})"
+        );
+    }
+
+    #[test]
+    fn pareto_sizes_are_heavy_tailed_and_clamped() {
+        use cloudqc_circuit::generators::ghz::ghz;
+        let w = Workload::pareto_sizes(ghz, 400, 1.2, 4, 64, 100.0, 9);
+        assert_eq!(w.len(), 400);
+        let sizes: Vec<usize> = w.jobs().iter().map(|j| j.circuit.num_qubits()).collect();
+        assert!(sizes.iter().all(|&s| (4..=64).contains(&s)));
+        // Mostly mice …
+        let small = sizes.iter().filter(|&&s| s < 12).count();
+        assert!(small > sizes.len() / 2, "small {small}/{}", sizes.len());
+        // … with at least one elephant at the clamp.
+        assert!(sizes.contains(&64), "no clamped elephant");
+        assert_eq!(w, Workload::pareto_sizes(ghz, 400, 1.2, 4, 64, 100.0, 9));
+    }
+
+    #[test]
+    fn round_robin_tenants_and_uniform_sla() {
+        let w = Workload::poisson(&pool(), 6, 300.0, 5)
+            .assign_round_robin_tenants(&[3.0, 1.0])
+            .with_uniform_sla(10_000);
+        assert_eq!(w.tenant_count(), 2);
+        for (i, j) in w.jobs().iter().enumerate() {
+            assert_eq!(j.tenant, i % 2);
+            assert_eq!(j.weight, if i % 2 == 0 { 3.0 } else { 1.0 });
+            assert_eq!(
+                j.deadline,
+                Some(Tick::new(j.arrival.as_ticks() + 10_000)),
+                "job {i}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn diurnal_rejects_full_amplitude() {
+        Workload::diurnal(&pool(), 2, 100.0, 1_000, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tenant weight")]
+    fn empty_tenant_weights_rejected() {
+        let _ = Workload::batch(pool()).assign_round_robin_tenants(&[]);
     }
 }

@@ -17,6 +17,10 @@
 //! * [`series`] — per-job latency breakdowns (queueing / EPR-wait /
 //!   compute) and bucketed throughput & utilization time series for the
 //!   runtime layer's reporting.
+//! * [`online`] — constant-memory streaming aggregates (Welford stats +
+//!   a seeded bounded reservoir for percentiles) so a long-lived
+//!   service reports throughput and latency without retaining per-job
+//!   outcomes.
 //!
 //! # Example
 //!
@@ -37,11 +41,13 @@
 
 pub mod engine;
 pub mod metrics;
+pub mod online;
 pub mod queue;
 pub mod rng;
 pub mod series;
 pub mod time;
 
+pub use online::{OnlineReport, Reservoir, RunningStat};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use series::{BatchStats, LatencyBreakdown, MeanBreakdown, TimeSeries};

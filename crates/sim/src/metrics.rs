@@ -56,8 +56,10 @@ impl Summary {
     }
 }
 
-/// Nearest-rank percentile over pre-sorted data.
-fn percentile(sorted: &[f64], q: f64) -> f64 {
+/// Nearest-rank percentile over pre-sorted data (shared with the
+/// streaming [`crate::online`] reservoir so exhaustive-reservoir
+/// quantiles match retained summaries bit-for-bit).
+pub(crate) fn percentile(sorted: &[f64], q: f64) -> f64 {
     debug_assert!(!sorted.is_empty());
     let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]

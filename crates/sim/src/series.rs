@@ -262,6 +262,18 @@ impl BatchStats {
     pub fn max(&self) -> usize {
         self.counts.iter().rposition(|&n| n > 0).unwrap_or(0)
     }
+
+    /// Folds another distribution into this one (size-wise sum) — how a
+    /// long-lived service accumulates per-epoch executor stats into
+    /// lifetime totals.
+    pub fn merge(&mut self, other: &BatchStats) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (size, &n) in other.counts.iter().enumerate() {
+            self.counts[size] += n;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -279,6 +291,22 @@ mod tests {
         b.record(0);
         assert_eq!(b.counts(), &[0, 0, 1]);
         assert_eq!(b.events(), 2);
+    }
+
+    #[test]
+    fn batch_stats_merge_sums_sizewise() {
+        let mut a = BatchStats::default();
+        a.record(1);
+        a.record(3);
+        let mut b = BatchStats::default();
+        b.record(3);
+        b.record(5);
+        a.merge(&b);
+        assert_eq!(a.ticks(), 4);
+        assert_eq!(a.events(), 1 + 3 + 3 + 5);
+        assert_eq!(a.max(), 5);
+        a.merge(&BatchStats::default());
+        assert_eq!(a.ticks(), 4);
     }
 
     #[test]

@@ -369,6 +369,53 @@ fn sharded_and_global_front_layers_are_byte_identical_in_executor() {
 }
 
 #[test]
+fn two_epoch_service_with_shared_cache_matches_independent_runs() {
+    // The service-layer golden: driving the same workload through two
+    // epochs of one resident Service (whose placement cache persists
+    // across epochs) must produce *exactly* the per-job completion
+    // times of two independent Orchestrator::run calls — cache reuse
+    // may only change speed, never outcomes — while the warm epoch
+    // proves the cache actually carried over (hit-rate > 0).
+    let (cloud, workload) = contended_setup();
+    let placement = CloudQcPlacement::default();
+    for seed in [3u64, 7, 42] {
+        let orch = || {
+            Orchestrator::new(&cloud, &placement, &CloudQcScheduler, seed)
+                .with_admission(AdmissionPolicy::Backfill)
+        };
+        let solo = orch().run(&workload).expect("independent run completes");
+        let mut svc = orch().into_service();
+        svc.submit_workload(&workload);
+        let epoch1 = svc.drive().expect("epoch 1 completes");
+        svc.submit_workload(&workload);
+        let epoch2 = svc.drive().expect("epoch 2 completes");
+        assert_eq!(observable(&epoch1), observable(&solo), "seed {seed}");
+        assert_eq!(observable(&epoch2), observable(&solo), "seed {seed}");
+        // Warm-epoch cache hit-rate > 0: the persistent cache answered
+        // admission lookups epoch 1 already paid for.
+        assert!(
+            epoch2.placement_cache.hit_rate() > 0.0,
+            "seed {seed}: warm epoch never hit the shared cache: {:?}",
+            epoch2.placement_cache
+        );
+        assert!(
+            epoch2.placement_cache.misses < epoch1.placement_cache.misses,
+            "seed {seed}: warm epoch should miss less: {:?} vs {:?}",
+            epoch2.placement_cache,
+            epoch1.placement_cache
+        );
+        // The streaming report saw both epochs.
+        let report = svc.report();
+        assert_eq!(report.epochs, 2);
+        assert_eq!(report.completed, 2 * solo.outcomes.len() as u64);
+        assert_eq!(
+            report.placement_cache.hits,
+            epoch1.placement_cache.hits + epoch2.placement_cache.hits
+        );
+    }
+}
+
+#[test]
 fn batched_and_unbatched_allocation_are_byte_identical_in_executor() {
     // The executor-level A/B, under the bench's contention profile:
     // scarce pairs, low EPR success, random placements.
