@@ -102,6 +102,19 @@ pub enum ExecError {
         /// When the rejection decision was made.
         now: Tick,
     },
+    /// Admission-time load shedding: the service was over its configured
+    /// overload threshold (waiting-queue depth or streaming p99) when
+    /// the job arrived, so it was turned away at the door instead of
+    /// deepening the backlog.
+    LoadShed {
+        /// Waiting jobs at the instant the job was shed.
+        queue_depth: usize,
+    },
+    /// The job can never be placed, even on a fully idle cloud. The
+    /// continuous-clock service rejects such jobs (carrying the
+    /// placement failure) instead of failing the whole run the way the
+    /// fail-fast epoch mode does.
+    Unplaceable(PlacementError),
 }
 
 impl ExecError {
@@ -113,6 +126,8 @@ impl ExecError {
             ExecError::NoRoute { .. } => "no-route",
             ExecError::StationWithoutCommQubits { .. } => "station-no-comm",
             ExecError::SlaExpired { .. } => "sla-expired",
+            ExecError::LoadShed { .. } => "load-shed",
+            ExecError::Unplaceable(_) => "unplaceable",
         }
     }
 }
@@ -140,11 +155,27 @@ impl fmt::Display for ExecError {
                     now.as_ticks()
                 )
             }
+            ExecError::LoadShed { queue_depth } => {
+                write!(
+                    f,
+                    "admission shed the job under overload ({queue_depth} jobs already waiting)"
+                )
+            }
+            ExecError::Unplaceable(e) => {
+                write!(f, "job can never be placed: {e}")
+            }
         }
     }
 }
 
-impl Error for ExecError {}
+impl Error for ExecError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExecError::Unplaceable(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -180,6 +211,8 @@ mod tests {
                 now: Tick::new(150),
             }
             .kind_name(),
+            ExecError::LoadShed { queue_depth: 12 }.kind_name(),
+            ExecError::Unplaceable(PlacementError::NoFeasiblePlacement).kind_name(),
         ];
         assert_eq!(
             kinds.len(),
@@ -209,6 +242,11 @@ mod tests {
         };
         assert!(sla.to_string().contains("deadline"));
         assert!(sla.to_string().contains("100"));
+        let shed = ExecError::LoadShed { queue_depth: 12 };
+        assert!(shed.to_string().contains("12 jobs already waiting"));
+        let unplaceable = ExecError::Unplaceable(PlacementError::NoFeasiblePlacement);
+        assert!(unplaceable.to_string().contains("never be placed"));
+        assert!(unplaceable.source().is_some());
     }
 
     #[test]

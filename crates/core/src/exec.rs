@@ -307,6 +307,15 @@ struct JobState {
     /// admission (sharded mode only) so re-inserts after a failed EPR
     /// round skip the pair→shard map lookup.
     shard_ids: Vec<usize>,
+    /// Remote nodes currently pending in the front layer, so a
+    /// suspension can retract them without scanning every shard.
+    pending_nodes: Vec<usize>,
+    /// Remote nodes retracted by a suspension, re-inserted on resume.
+    parked: Vec<usize>,
+    /// Suspended jobs keep their computing qubits and any in-flight
+    /// EPR rounds, but their remote gates stay out of the front layer
+    /// (newly ready ones park) until [`Executor::resume_job`].
+    suspended: bool,
     started_at: Tick,
     finished_at: Option<Tick>,
     epr_rounds: u64,
@@ -365,6 +374,8 @@ pub struct Executor<'a> {
     batch_stats: BatchStats,
     /// Allocation-pass work counters.
     alloc_stats: AllocStats,
+    /// Jobs suspended so far (see [`Executor::suspend_job`]).
+    preemptions: u64,
 }
 
 impl<'a> Executor<'a> {
@@ -392,6 +403,7 @@ impl<'a> Executor<'a> {
             front_settled: false,
             batch_stats: BatchStats::default(),
             alloc_stats: AllocStats::default(),
+            preemptions: 0,
         };
         exec.rebuild_front();
         exec
@@ -585,6 +597,9 @@ impl<'a> Executor<'a> {
             remaining_hops,
             stations,
             shard_ids,
+            pending_nodes: Vec::new(),
+            parked: Vec::new(),
+            suspended: false,
             started_at: self.now,
             finished_at: None,
             epr_rounds: 0,
@@ -647,6 +662,11 @@ impl<'a> Executor<'a> {
     /// order the priority-aware schedulers sort into, so their sorts
     /// hit the pre-sorted fast path (and the sharded merge applies).
     fn insert_request(&mut self, job: usize, node: usize) {
+        if self.jobs[job].suspended {
+            // The job is preempted: hold the request back until resume.
+            self.jobs[job].parked.push(node);
+            return;
+        }
         let state = &self.jobs[job];
         let (a, b) = state.remote.endpoints(node);
         let req = RemoteRequest {
@@ -665,17 +685,20 @@ impl<'a> Executor<'a> {
             }
             FrontLayer::Sharded(front) => front.insert(state.shard_ids[node], req),
         }
+        self.jobs[job].pending_nodes.push(node);
     }
 
-    /// Removes a request from the front layer (its round started).
-    fn remove_request(&mut self, key: u64) {
-        let (job, node) = decode_key(key);
+    /// Removes `job`'s request for `node` from the front layer without
+    /// touching the pending-node bookkeeping (shared by the grant path
+    /// and suspension).
+    fn retract(&mut self, job: usize, node: usize) {
+        let key = encode_key(job, node);
         let priority = self.jobs[job].priorities[node];
         match &mut self.front {
             FrontLayer::Global(requests) => {
                 let pos = requests
                     .binary_search_by(|r| request_order(r, priority, key))
-                    .expect("allocated request was pending");
+                    .expect("retracted request was pending");
                 requests.remove(pos);
                 self.front_settled = false;
             }
@@ -683,6 +706,76 @@ impl<'a> Executor<'a> {
                 front.remove(self.jobs[job].shard_ids[node], priority, key);
             }
         }
+    }
+
+    /// Removes a request from the front layer (its round started).
+    fn remove_request(&mut self, key: u64) {
+        let (job, node) = decode_key(key);
+        self.retract(job, node);
+        let pending = &mut self.jobs[job].pending_nodes;
+        let pos = pending
+            .iter()
+            .position(|&n| n == node)
+            .expect("granted node was tracked as pending");
+        pending.swap_remove(pos);
+    }
+
+    /// Suspends (preempts) a running job: every pending remote-gate
+    /// request is retracted from the allocation front layer and parked,
+    /// so the network scheduler stops granting the job EPR pairs. EPR
+    /// rounds already in flight complete normally and return their
+    /// communication pairs at round end; local gates keep executing;
+    /// remote gates that become ready while suspended park instead of
+    /// competing. The job keeps its computing qubits (the paper's
+    /// placements are not migratable), so preemption frees the
+    /// *communication* fabric — the contended resource — for
+    /// SLA-critical arrivals.
+    ///
+    /// Returns `false` (and changes nothing) when the job is already
+    /// suspended or finished. A job left suspended forever stalls
+    /// [`Executor::run_to_completion`].
+    pub fn suspend_job(&mut self, job: usize) -> bool {
+        if self.jobs[job].suspended || self.jobs[job].finished_at.is_some() {
+            return false;
+        }
+        self.jobs[job].suspended = true;
+        let mut nodes = std::mem::take(&mut self.jobs[job].pending_nodes);
+        nodes.sort_unstable();
+        for &node in &nodes {
+            self.retract(job, node);
+        }
+        self.jobs[job].parked = nodes;
+        self.preemptions += 1;
+        // The retracted demand may redirect this round's grants to the
+        // remaining requests immediately.
+        self.try_allocate();
+        true
+    }
+
+    /// Resumes a suspended job: parked remote-gate requests re-enter
+    /// the front layer (in node order) and an allocation pass runs.
+    /// Returns `false` when the job is not suspended.
+    pub fn resume_job(&mut self, job: usize) -> bool {
+        if !self.jobs[job].suspended {
+            return false;
+        }
+        self.jobs[job].suspended = false;
+        let parked = std::mem::take(&mut self.jobs[job].parked);
+        for node in parked {
+            self.insert_request(job, node);
+        }
+        self.try_allocate();
+        true
+    }
+
+    /// Whether `job` is currently suspended.
+    pub fn is_suspended(&self, job: usize) -> bool {
+        self.jobs.get(job).is_some_and(|j| j.suspended)
+    }
+
+    /// Jobs suspended via [`Executor::suspend_job`] so far.
+    pub fn preemptions(&self) -> u64 {
+        self.preemptions
     }
 
     /// Records that QPU `q`'s free communication count changed: wakes
@@ -1034,6 +1127,26 @@ impl<'a> Executor<'a> {
             }
         }
         self.drain_finished()
+    }
+
+    /// Like [`Executor::run_until_next_completion`], but only processes
+    /// events at or before `deadline`: returns empty when no job
+    /// completes within the budget, leaving later events unprocessed
+    /// (pair with [`Executor::run_until`] to close the window). The
+    /// tick-budgeted continuous service uses this to stop an advance at
+    /// its drive deadline.
+    pub fn run_until_next_completion_before(&mut self, deadline: Tick) -> Vec<usize> {
+        while self.newly_finished.is_empty()
+            && self.queue.peek_time().is_some_and(|t| t <= deadline)
+        {
+            self.step();
+        }
+        self.drain_finished()
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn next_event_time(&self) -> Option<Tick> {
+        self.queue.peek_time()
     }
 
     /// The result of job `id`, or `None` if it has not finished.
@@ -1480,6 +1593,39 @@ mod tests {
         exec.add_job(&c, &p);
         exec.run_to_completion();
         assert_eq!(exec.comm_free(), &[2, 2, 2]);
+    }
+
+    #[test]
+    fn suspend_parks_requests_and_resume_completes() {
+        let cloud = CloudBuilder::new(2)
+            .line_topology()
+            .communication_qubits(1)
+            .epr_success_prob(0.05)
+            .build();
+        let mut c = Circuit::new(2);
+        for _ in 0..4 {
+            c.cx(0, 1);
+        }
+        let p = Placement::new(vec![QpuId::new(0), QpuId::new(1)]);
+        let mut exec = Executor::new(&cloud, &CloudQcScheduler, 3);
+        let id = exec.add_job(&c, &p);
+        assert!(exec.suspend_job(id));
+        assert!(exec.is_suspended(id));
+        assert!(!exec.suspend_job(id), "double suspend is a no-op");
+        assert_eq!(exec.preemptions(), 1);
+        // In-flight rounds drain and return their pairs, newly ready
+        // requests park: the executor goes quiet with the job alive.
+        let finished = exec.run_until(Tick::new(1_000_000));
+        assert!(finished.is_empty());
+        assert_eq!(exec.unfinished_jobs(), 1);
+        assert_eq!(exec.next_event_time(), None);
+        assert_eq!(exec.comm_free(), &[1, 1]);
+        // Resume re-enters the parked requests; the job completes.
+        assert!(exec.resume_job(id));
+        assert!(!exec.resume_job(id), "double resume is a no-op");
+        exec.run_to_completion();
+        assert!(exec.job_result(id).is_some());
+        assert_eq!(exec.comm_free(), &[1, 1]);
     }
 
     #[test]

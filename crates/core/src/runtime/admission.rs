@@ -31,6 +31,7 @@ use crate::placement::estimate::estimate_execution_time;
 use crate::placement::Placement;
 use crate::workload::WorkloadJob;
 use cloudqc_cloud::{Cloud, QpuId};
+use cloudqc_sim::online::OnlineReport;
 use cloudqc_sim::Tick;
 
 /// How waiting jobs are ordered, admitted, and (for SLA policies)
@@ -74,9 +75,11 @@ impl Default for AdmissionPolicy {
     }
 }
 
-/// Everything the runtime loop needs from the policy, computed once per
-/// epoch: queue-ordering metrics and the SLA terms for deadline
-/// admission control.
+/// Everything the runtime loop needs from the policy: queue-ordering
+/// metrics and the SLA terms for deadline admission control. Epoch mode
+/// computes it once per epoch ([`AdmissionPolicy::prepare`]); the
+/// continuous-clock engine grows it one submission batch at a time
+/// ([`AdmissionPolicy::extend`]).
 pub(crate) struct QueueContext {
     /// Per-job queue priority, higher first (`None` keeps pure arrival
     /// order).
@@ -84,12 +87,75 @@ pub(crate) struct QueueContext {
     /// Per-job (absolute deadline, estimated service ticks), only under
     /// [`AdmissionPolicy::DeadlineAware`].
     sla: Option<Vec<(Option<Tick>, u64)>>,
+    /// Per-tenant WFQ virtual finish times, carried across submission
+    /// batches under [`AdmissionPolicy::WeightedFairShare`] (reset at a
+    /// continuous-engine re-anchor, where epoch mode starts fresh).
+    tenant_finish: Vec<f64>,
 }
 
 impl QueueContext {
+    /// An empty context, ready for [`AdmissionPolicy::extend`].
+    pub(crate) fn empty() -> Self {
+        QueueContext {
+            metrics: None,
+            sla: None,
+            tenant_finish: Vec::new(),
+        }
+    }
+
     /// The queue-ordering metrics (higher sorts earlier), if any.
     pub(crate) fn metrics(&self) -> Option<&[f64]> {
         self.metrics.as_deref()
+    }
+}
+
+/// Admission-time load shedding for the continuous-clock service: a job
+/// arriving while the service is over any configured threshold is
+/// rejected with [`crate::error::ExecError::LoadShed`] at the door
+/// instead of joining (and deepening) the waiting queue. Signals come
+/// from the service's own state: the waiting-queue depth and the
+/// streaming report's p99 completion time.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct LoadShedPolicy {
+    /// Shed while at least this many jobs are already waiting.
+    pub max_queue_depth: Option<usize>,
+    /// Shed while the streaming p99 completion time exceeds this many
+    /// ticks.
+    pub max_p99_jct: Option<f64>,
+}
+
+impl LoadShedPolicy {
+    /// Shed arrivals while `limit` jobs are already waiting.
+    pub fn queue_depth(limit: usize) -> Self {
+        LoadShedPolicy {
+            max_queue_depth: Some(limit),
+            max_p99_jct: None,
+        }
+    }
+
+    /// Shed arrivals while the streaming p99 completion time is above
+    /// `limit` ticks.
+    pub fn p99_jct(limit: f64) -> Self {
+        LoadShedPolicy {
+            max_queue_depth: None,
+            max_p99_jct: Some(limit),
+        }
+    }
+
+    /// Adds a p99 threshold to an existing policy.
+    pub fn and_p99_jct(mut self, limit: f64) -> Self {
+        self.max_p99_jct = Some(limit);
+        self
+    }
+
+    /// Whether a job arriving now must be shed, given the current
+    /// waiting-queue depth and streaming metrics.
+    pub(crate) fn should_shed(&self, queue_depth: usize, online: &OnlineReport) -> bool {
+        if self.max_queue_depth.is_some_and(|cap| queue_depth >= cap) {
+            return true;
+        }
+        self.max_p99_jct
+            .is_some_and(|cap| online.quantile(0.99).is_some_and(|p99| p99 > cap))
     }
 }
 
@@ -109,51 +175,58 @@ impl AdmissionPolicy {
         matches!(self, AdmissionPolicy::Fcfs)
     }
 
-    /// Computes the per-epoch queue context for `jobs` (in workload
-    /// order).
+    /// Computes the queue context for `jobs` (in workload order) from
+    /// scratch — one epoch's worth, the degenerate single-batch case of
+    /// [`AdmissionPolicy::extend`].
+    #[cfg(test)]
     pub(crate) fn prepare(&self, jobs: &[WorkloadJob], cloud: &Cloud) -> QueueContext {
+        let mut ctx = QueueContext::empty();
+        self.extend(&mut ctx, jobs, cloud);
+        ctx
+    }
+
+    /// Appends the queue context for one more submission batch (whose
+    /// jobs are indexed right after everything already in `ctx`) — the
+    /// incremental form the continuous-clock engine uses to inject
+    /// batches onto a live executor. WFQ virtual finishes carry across
+    /// batches through the context's per-tenant state; a single batch
+    /// over an empty context computes one epoch's worth from scratch.
+    pub(crate) fn extend(&self, ctx: &mut QueueContext, jobs: &[WorkloadJob], cloud: &Cloud) {
         let estimates = |jobs: &[WorkloadJob]| -> Vec<u64> {
             jobs.iter()
                 .map(|j| estimated_service_ticks(&j.circuit, cloud))
                 .collect()
         };
         match self {
-            AdmissionPolicy::Fcfs | AdmissionPolicy::Backfill => QueueContext {
-                metrics: None,
-                sla: None,
-            },
-            AdmissionPolicy::PriorityBackfill(weights) => QueueContext {
-                metrics: Some(
-                    jobs.iter()
-                        .map(|j| job_metric(&j.circuit, weights))
-                        .collect(),
-                ),
-                sla: None,
-            },
-            AdmissionPolicy::ShortestJobFirst => QueueContext {
+            AdmissionPolicy::Fcfs | AdmissionPolicy::Backfill => {}
+            AdmissionPolicy::PriorityBackfill(weights) => {
+                ctx.metrics
+                    .get_or_insert_with(Vec::new)
+                    .extend(jobs.iter().map(|j| job_metric(&j.circuit, weights)));
+            }
+            AdmissionPolicy::ShortestJobFirst => {
                 // Shortest first = highest metric first under negation.
-                metrics: Some(estimates(jobs).iter().map(|&e| -(e as f64)).collect()),
-                sla: None,
-            },
-            AdmissionPolicy::WeightedFairShare => QueueContext {
-                metrics: Some(wfq_virtual_finish(jobs, &estimates(jobs))),
-                sla: None,
-            },
+                ctx.metrics
+                    .get_or_insert_with(Vec::new)
+                    .extend(estimates(jobs).iter().map(|&e| -(e as f64)));
+            }
+            AdmissionPolicy::WeightedFairShare => {
+                let batch = wfq_virtual_finish(jobs, &estimates(jobs), &mut ctx.tenant_finish);
+                ctx.metrics.get_or_insert_with(Vec::new).extend(batch);
+            }
             AdmissionPolicy::DeadlineAware => {
                 let est = estimates(jobs);
-                QueueContext {
-                    // Earliest deadline first; deadline-free jobs last.
-                    metrics: Some(
-                        jobs.iter()
-                            .map(|j| {
-                                j.deadline
-                                    .map(|d| -(d.as_ticks() as f64))
-                                    .unwrap_or(f64::NEG_INFINITY)
-                            })
-                            .collect(),
-                    ),
-                    sla: Some(jobs.iter().zip(est).map(|(j, e)| (j.deadline, e)).collect()),
-                }
+                // Earliest deadline first; deadline-free jobs last.
+                ctx.metrics
+                    .get_or_insert_with(Vec::new)
+                    .extend(jobs.iter().map(|j| {
+                        j.deadline
+                            .map(|d| -(d.as_ticks() as f64))
+                            .unwrap_or(f64::NEG_INFINITY)
+                    }));
+                ctx.sla
+                    .get_or_insert_with(Vec::new)
+                    .extend(jobs.iter().zip(est).map(|(j, e)| (j.deadline, e)));
             }
         }
     }
@@ -183,14 +256,22 @@ impl AdmissionPolicy {
 }
 
 /// WFQ virtual finish times, negated so "higher sorts earlier" yields
-/// ascending finish order: processing jobs in arrival order (stable by
-/// workload index, the same order the runtime enqueues), each job
-/// finishes at `max(arrival, tenant's previous finish) + est / weight`.
-fn wfq_virtual_finish(jobs: &[WorkloadJob], estimates: &[u64]) -> Vec<f64> {
+/// ascending finish order: processing the batch's jobs in arrival order
+/// (stable by workload index, the same order the runtime enqueues),
+/// each job finishes at `max(arrival, tenant's previous finish) +
+/// est / weight`. The per-tenant finish times live in (and persist
+/// through) `tenant_finish`, so successive batches chain.
+fn wfq_virtual_finish(
+    jobs: &[WorkloadJob],
+    estimates: &[u64],
+    tenant_finish: &mut Vec<f64>,
+) -> Vec<f64> {
     let mut order: Vec<usize> = (0..jobs.len()).collect();
     order.sort_by_key(|&i| jobs[i].arrival);
     let tenants = jobs.iter().map(|j| j.tenant + 1).max().unwrap_or(0);
-    let mut tenant_finish = vec![0.0f64; tenants];
+    if tenant_finish.len() < tenants {
+        tenant_finish.resize(tenants, 0.0);
+    }
     let mut metric = vec![0.0f64; jobs.len()];
     for &i in &order {
         let job = &jobs[i];

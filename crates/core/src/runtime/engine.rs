@@ -1,0 +1,668 @@
+//! The resident event loop shared by the epoch-mode and
+//! continuous-clock faces of [`crate::runtime::Service`].
+//!
+//! An [`Engine`] owns everything one *era* of simulation needs to stay
+//! live between calls: the executor (with its event queue and RNG), the
+//! cloud's free-capacity ledger, the admission queue context, the jobs
+//! injected so far, and the not-yet-arrived tail of the stream. The
+//! service drives it two ways:
+//!
+//! * **Epoch mode** (`continuous == false`): one fresh engine per
+//!   `drive()`, injected once and advanced to quiescence — literally
+//!   the pre-refactor `run_epoch` loop, with job records stamped on the
+//!   era-local clock so epoch reports are unchanged.
+//! * **Continuous mode** (`continuous == true`): one engine resident on
+//!   the service. Submissions land on the *live* executor mid-flight
+//!   ([`Engine::inject`]); [`Engine::advance`] runs until quiescent or
+//!   until a lifetime-tick budget. Job records are stamped on the
+//!   lifetime clock.
+//!
+//! In both modes the streaming [`OnlineReport`] is fed *lifetime* ticks
+//! (`clock_base + era-local`), so multi-epoch throughput and
+//! last-finish series are monotone instead of piling up at tick 0.
+//!
+//! # Re-anchoring, and why continuous == epoch over a drained cloud
+//!
+//! When a continuous engine is fully quiescent (no waiting jobs, no
+//! in-flight work, no future arrivals) and a new batch is injected, it
+//! *re-anchors*: the lifetime clock base absorbs the elapsed era, and
+//! the executor, capacity ledger, and admission context are rebuilt
+//! fresh — exactly the state a new epoch would start from. Every
+//! admission metric is shift-invariant under a uniform arrival offset
+//! (WFQ virtual finishes restart with the context, EDF compares
+//! like-framed deadlines, SJF/priority ignore time entirely), so a
+//! continuous run over concatenated workloads reproduces epoch mode
+//! byte-for-byte whenever the cloud drains between them — the golden
+//! test in `tests/runtime_golden.rs` pins this.
+//!
+//! # The policy tier
+//!
+//! The engine also hosts the scheduler policies that only make sense on
+//! a live queue: **preemption** (admitting an SLA-critical job suspends
+//! every running non-critical job's remote gates, returning their
+//! communication pairs to the fabric until no critical job remains),
+//! **aging** (waiting jobs gain priority linearly with queueing time,
+//! bounding SJF/EDF starvation), and **load shedding** (arrivals are
+//! turned away with [`ExecError::LoadShed`] while the waiting queue or
+//! the streaming p99 is over its configured limit).
+
+use crate::error::{ExecError, PlacementError};
+use crate::exec::{AllocStats, Executor};
+use crate::placement::PlacementCache;
+use crate::runtime::admission::QueueContext;
+use crate::runtime::orchestrator::JobRecord;
+use crate::runtime::service::RuntimeConfig;
+use crate::workload::WorkloadJob;
+use cloudqc_circuit::{Circuit, Fingerprint};
+use cloudqc_cloud::CloudStatus;
+use cloudqc_sim::online::OnlineReport;
+use cloudqc_sim::series::{BatchStats, LatencyBreakdown};
+use cloudqc_sim::Tick;
+
+/// One injected job, in the engine's era-local frame.
+struct EngineJob {
+    circuit: Circuit,
+    /// Arrival on the era-local clock (lifetime arrivals earlier than
+    /// the era's base land at local tick 0 — "submitted in the past"
+    /// means "arrives immediately").
+    arrival: Tick,
+    /// Whether the job carries an SLA deadline — the preemption
+    /// trigger's definition of "critical".
+    critical: bool,
+    /// Structural fingerprint (computed when the cache or fingerprint
+    /// seeding needs it).
+    fingerprint: Option<Fingerprint>,
+    /// The index this job is reported under (workload index in epoch
+    /// mode, lifetime submission index in continuous mode).
+    record_index: usize,
+}
+
+/// One admitted job, keyed by its executor id.
+struct Admitted {
+    job: usize,
+    demand: Vec<usize>,
+    critical: bool,
+}
+
+/// The resident event loop of one era: executor, capacity ledger,
+/// admission queue, and the stream tail, advanced on demand.
+pub(crate) struct Engine<'a> {
+    cfg: RuntimeConfig<'a>,
+    /// Continuous-clock mode: lifetime stamping, typed rejection of
+    /// never-placeable jobs (epoch mode fails fast instead), and
+    /// re-anchoring on quiescent injection.
+    continuous: bool,
+    /// Lifetime tick at which this era's local clock 0 sits.
+    clock_base: u64,
+    status: CloudStatus,
+    exec: Executor<'a>,
+    ctx: QueueContext,
+    jobs: Vec<EngineJob>,
+    /// Era-local job ids not yet enqueued, sorted by (arrival, id);
+    /// `next_arrival` is the cursor.
+    upcoming: Vec<usize>,
+    next_arrival: usize,
+    /// Era-local ids of arrived-but-not-admitted jobs, in policy order.
+    waiting: Vec<usize>,
+    admitted: Vec<Admitted>,
+    /// Admitted-and-unfinished jobs holding an SLA deadline; while
+    /// positive (and preemption is on) non-critical jobs stay
+    /// suspended.
+    critical_running: usize,
+    /// Whether the admission queue could admit differently since the
+    /// last pass (a job arrived, a completion freed capacity, or a
+    /// suspension was lifted). Gating admission on this keeps a
+    /// budget-bounded `advance` transparent: pausing and resuming the
+    /// clock re-runs admission only at the same instants an
+    /// uninterrupted run would.
+    admission_dirty: bool,
+    /// Completions recorded since the last [`Engine::take_window`].
+    outcomes: Vec<JobRecord>,
+    /// Rejections recorded since the last [`Engine::take_window`].
+    rejections: Vec<(usize, ExecError)>,
+    /// Work counters of executors retired by past re-anchors.
+    retired_allocation: AllocStats,
+    retired_batches: BatchStats,
+    retired_preemptions: u64,
+}
+
+impl<'a> Engine<'a> {
+    pub(crate) fn new(cfg: RuntimeConfig<'a>, continuous: bool, clock_base: u64) -> Self {
+        Engine {
+            status: cfg.cloud.status(),
+            exec: Self::fresh_exec(&cfg),
+            ctx: QueueContext::empty(),
+            jobs: Vec::new(),
+            upcoming: Vec::new(),
+            next_arrival: 0,
+            waiting: Vec::new(),
+            admitted: Vec::new(),
+            critical_running: 0,
+            admission_dirty: false,
+            outcomes: Vec::new(),
+            rejections: Vec::new(),
+            retired_allocation: AllocStats::default(),
+            retired_batches: BatchStats::default(),
+            retired_preemptions: 0,
+            cfg,
+            continuous,
+            clock_base,
+        }
+    }
+
+    fn fresh_exec(cfg: &RuntimeConfig<'a>) -> Executor<'a> {
+        Executor::new(cfg.cloud, cfg.scheduler, cfg.seed)
+            .with_path_reservation(cfg.path_reservation)
+            .with_batched_allocation(cfg.batched_allocation)
+            .with_sharded_front_layer(cfg.sharded_front_layer)
+    }
+
+    /// The engine's clock on the service lifetime frame.
+    pub(crate) fn now(&self) -> Tick {
+        Tick::new(self.clock_base + self.exec.now().as_ticks())
+    }
+
+    /// The clock admission policies compare deadlines against: era-local
+    /// in epoch mode (deadlines are epoch-local there), lifetime in
+    /// continuous mode.
+    fn policy_now(&self) -> Tick {
+        if self.continuous {
+            self.now()
+        } else {
+            self.exec.now()
+        }
+    }
+
+    fn shift(&self, t: Tick) -> Tick {
+        Tick::new(self.clock_base + t.as_ticks())
+    }
+
+    /// Nothing in flight, nothing waiting, nothing still to arrive.
+    pub(crate) fn is_quiescent(&self) -> bool {
+        self.next_arrival >= self.upcoming.len()
+            && self.waiting.is_empty()
+            && self.exec.unfinished_jobs() == 0
+            && self.exec.next_event_time().is_none()
+    }
+
+    /// Arrived jobs currently waiting for admission.
+    pub(crate) fn queue_depth(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Jobs admitted and not yet finished.
+    pub(crate) fn in_flight(&self) -> usize {
+        self.exec.unfinished_jobs()
+    }
+
+    /// Lifetime allocation-pass counters (retired eras + the live
+    /// executor).
+    pub(crate) fn allocation(&self) -> AllocStats {
+        let mut a = self.retired_allocation;
+        a.merge(self.exec.alloc_stats());
+        a
+    }
+
+    /// Lifetime event-batch distribution (retired eras + the live
+    /// executor).
+    pub(crate) fn event_batches(&self) -> BatchStats {
+        let mut b = self.retired_batches.clone();
+        b.merge(self.exec.batch_stats());
+        b
+    }
+
+    /// Lifetime job suspensions performed by the preemption policy.
+    pub(crate) fn preemptions(&self) -> u64 {
+        self.retired_preemptions + self.exec.preemptions()
+    }
+
+    /// Free computing qubits per QPU right now.
+    pub(crate) fn free_computing(&self) -> Vec<usize> {
+        (0..self.cfg.cloud.qpu_count())
+            .map(|i| self.status.free_computing(cloudqc_cloud::QpuId::new(i)))
+            .collect()
+    }
+
+    /// Free communication qubits per QPU right now.
+    pub(crate) fn comm_free(&self) -> &[usize] {
+        self.exec.comm_free()
+    }
+
+    /// Drains the completions and rejections recorded since the last
+    /// call (completions in completion order).
+    pub(crate) fn take_window(&mut self) -> (Vec<JobRecord>, Vec<(usize, ExecError)>) {
+        (
+            std::mem::take(&mut self.outcomes),
+            std::mem::take(&mut self.rejections),
+        )
+    }
+
+    /// Lands a submission batch on the engine. `first_record_index`
+    /// numbers the batch's jobs in the caller's reporting frame;
+    /// `cache_active` controls fingerprint computation.
+    ///
+    /// In continuous mode, injecting onto a *quiescent* engine
+    /// re-anchors it first (see the module docs); arrivals are lifetime
+    /// ticks and are converted to the era-local frame (past arrivals
+    /// land immediately). In epoch mode arrivals are already era-local.
+    pub(crate) fn inject(
+        &mut self,
+        jobs: Vec<WorkloadJob>,
+        first_record_index: usize,
+        cache_active: bool,
+    ) {
+        if jobs.is_empty() {
+            return;
+        }
+        if self.continuous && !self.jobs.is_empty() && self.is_quiescent() {
+            self.reanchor();
+        }
+        // The queue context is extended in the submission frame (epoch:
+        // era-local; continuous: lifetime) — every metric is either
+        // time-free or uniformly shifted, so queue *order* is identical
+        // in both frames.
+        self.cfg
+            .admission
+            .extend(&mut self.ctx, &jobs, self.cfg.cloud);
+        let base = self.jobs.len();
+        for (offset, job) in jobs.into_iter().enumerate() {
+            let fingerprint =
+                (cache_active || self.cfg.fingerprint_seeding).then(|| job.circuit.fingerprint());
+            let arrival = if self.continuous {
+                Tick::new(job.arrival.as_ticks().saturating_sub(self.clock_base))
+            } else {
+                job.arrival
+            };
+            self.jobs.push(EngineJob {
+                circuit: job.circuit,
+                arrival,
+                critical: job.deadline.is_some(),
+                fingerprint,
+                record_index: first_record_index + offset,
+            });
+            self.upcoming.push(base + offset);
+        }
+        // Keep the not-yet-enqueued tail sorted by (arrival, id); ids
+        // ascend within each injected batch, so the stable sort keeps
+        // equal-arrival jobs in submission order.
+        self.upcoming[self.next_arrival..].sort_by_key(|&id| (self.jobs[id].arrival, id));
+        self.admission_dirty = true;
+    }
+
+    /// Starts a fresh era over the drained cloud: the elapsed era folds
+    /// into the clock base and the executor, ledger, and admission
+    /// context are rebuilt exactly as a new epoch would build them.
+    fn reanchor(&mut self) {
+        debug_assert!(self.is_quiescent(), "re-anchor requires quiescence");
+        self.retired_allocation.merge(self.exec.alloc_stats());
+        self.retired_batches.merge(self.exec.batch_stats());
+        self.retired_preemptions += self.exec.preemptions();
+        self.clock_base += self.exec.now().as_ticks();
+        self.exec = Self::fresh_exec(&self.cfg);
+        self.status = self.cfg.cloud.status();
+        self.ctx = QueueContext::empty();
+        self.jobs.clear();
+        self.upcoming.clear();
+        self.next_arrival = 0;
+        self.admitted.clear();
+        self.critical_running = 0;
+    }
+
+    /// Advances the engine until quiescent or, when `deadline` (a
+    /// *lifetime* tick) is given, until the clock reaches it.
+    ///
+    /// # Errors
+    ///
+    /// In epoch mode (fail-fast), [`PlacementError`] when some job can
+    /// never be placed even on an idle cloud. Continuous mode rejects
+    /// such jobs with [`ExecError::Unplaceable`] instead and does not
+    /// error.
+    pub(crate) fn advance(
+        &mut self,
+        online: &mut OnlineReport,
+        cache: &mut Option<PlacementCache>,
+        deadline: Option<Tick>,
+    ) -> Result<(), PlacementError> {
+        let deadline = deadline.map(|d| Tick::new(d.as_ticks().saturating_sub(self.clock_base)));
+        loop {
+            self.admit(online, cache)?;
+
+            // An arrival inside the budget: advance to it (recording
+            // completions along the way) and enqueue the whole batch
+            // arriving at that instant.
+            if let Some(&id) = self.upcoming.get(self.next_arrival) {
+                let arrival = self.jobs[id].arrival;
+                if deadline.is_none_or(|d| arrival <= d) {
+                    let finished = self.exec.run_until(arrival);
+                    self.record_finished(online, finished);
+                    while self.next_arrival < self.upcoming.len()
+                        && self.jobs[self.upcoming[self.next_arrival]].arrival <= arrival
+                    {
+                        let idx = self.upcoming[self.next_arrival];
+                        self.enqueue(online, idx);
+                        self.next_arrival += 1;
+                    }
+                    continue;
+                }
+            }
+
+            if self.exec.unfinished_jobs() > 0 {
+                match deadline {
+                    None => {
+                        let finished = self.exec.run_until_next_completion();
+                        if finished.is_empty() {
+                            // In-flight jobs but no future events: every
+                            // runnable job is suspended (the last
+                            // critical job was rejected or never
+                            // admitted). Resume and retry.
+                            if self.resume_all() {
+                                self.admission_dirty = true;
+                                continue;
+                            }
+                            return Err(PlacementError::NoFeasiblePlacement);
+                        }
+                        self.record_finished(online, finished);
+                    }
+                    Some(d) => {
+                        let exhausted = self.exec.next_event_time().is_none_or(|t| t > d);
+                        let finished = self.exec.run_until(d);
+                        let progressed = !finished.is_empty();
+                        self.record_finished(online, finished);
+                        if exhausted && !progressed {
+                            // Nothing more can happen inside the
+                            // budget; the clock is parked at the
+                            // deadline.
+                            return Ok(());
+                        }
+                    }
+                }
+            } else {
+                // Gate-less circuits finish inside try_add_job without
+                // raising unfinished_jobs; drain them before deciding
+                // the era is quiescent (run_until_next_completion
+                // returns the buffered completions without stepping).
+                let finished = self.exec.run_until_next_completion();
+                if !finished.is_empty() {
+                    self.record_finished(online, finished);
+                    continue;
+                }
+                if self.waiting.is_empty() {
+                    // Quiescent up to the budget (any remaining
+                    // arrivals are beyond the deadline); park the idle
+                    // clock at the deadline so `drive_until(t)` always
+                    // ends at `t`.
+                    if let Some(d) = deadline {
+                        if self.exec.now() < d {
+                            let late = self.exec.run_until(d);
+                            debug_assert!(late.is_empty());
+                        }
+                    }
+                    return Ok(());
+                }
+                // Idle executor, nothing arriving inside the budget,
+                // jobs still waiting: they failed placement against the
+                // fully free cloud and never will fit.
+                if !self.continuous {
+                    return Err(PlacementError::NoFeasiblePlacement);
+                }
+                let stuck = std::mem::take(&mut self.waiting);
+                for job_idx in stuck {
+                    self.rejections.push((
+                        self.jobs[job_idx].record_index,
+                        ExecError::Unplaceable(PlacementError::NoFeasiblePlacement),
+                    ));
+                    online.record_rejection(self.now());
+                }
+            }
+        }
+    }
+
+    /// One admission pass: age the queue, prune expired SLAs, place and
+    /// start everything the policy and free capacity allow. Skipped
+    /// unless something changed since the last pass — retrying against
+    /// unchanged state cannot admit anything new, and the gate makes
+    /// budget boundaries invisible to the schedule.
+    fn admit(
+        &mut self,
+        online: &mut OnlineReport,
+        cache: &mut Option<PlacementCache>,
+    ) -> Result<(), PlacementError> {
+        if !self.admission_dirty {
+            return Ok(());
+        }
+        self.admission_dirty = false;
+        self.age_queue();
+        let mut i = 0;
+        while i < self.waiting.len() {
+            let job_idx = self.waiting[i];
+            // SLA admission control: prune jobs whose deadline can no
+            // longer be met instead of retrying them forever.
+            let policy_now = self.policy_now();
+            if let Some(deadline) = self
+                .cfg
+                .admission
+                .sla_violation(&self.ctx, job_idx, policy_now)
+            {
+                self.rejections.push((
+                    self.jobs[job_idx].record_index,
+                    ExecError::SlaExpired {
+                        deadline,
+                        now: policy_now,
+                    },
+                ));
+                online.record_rejection(self.now());
+                self.waiting.remove(i);
+                continue;
+            }
+            let job_seed = if self.cfg.fingerprint_seeding {
+                let fp = self.jobs[job_idx]
+                    .fingerprint
+                    .expect("fingerprints are computed when seeding needs them");
+                self.cfg.seed ^ fp.as_u64()
+            } else {
+                self.cfg.seed ^ (job_idx as u64) << 17
+            };
+            let placed = match cache.as_mut() {
+                Some(cache) => cache.place_fingerprinted(
+                    self.jobs[job_idx]
+                        .fingerprint
+                        .expect("fingerprints are computed when the cache is on"),
+                    self.cfg.placement,
+                    &self.jobs[job_idx].circuit,
+                    self.cfg.cloud,
+                    &self.status,
+                    job_seed,
+                ),
+                None => self.cfg.placement.place(
+                    &self.jobs[job_idx].circuit,
+                    self.cfg.cloud,
+                    &self.status,
+                    job_seed,
+                ),
+            };
+            match placed {
+                Ok(p) => {
+                    let demand = p.qpu_demand(self.cfg.cloud.qpu_count());
+                    match self.exec.try_add_job(&self.jobs[job_idx].circuit, &p) {
+                        Ok(exec_id) => {
+                            self.status
+                                .allocate_all_computing(&demand)
+                                .expect("placement.fits was checked by the algorithm");
+                            debug_assert_eq!(exec_id, self.admitted.len());
+                            let critical = self.jobs[job_idx].critical;
+                            self.admitted.push(Admitted {
+                                job: job_idx,
+                                demand,
+                                critical,
+                            });
+                            self.waiting.remove(i);
+                            if critical {
+                                self.critical_running += 1;
+                                if self.cfg.preemption {
+                                    self.suspend_noncritical();
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            // The placement can never execute: reject
+                            // the job, keep the run going.
+                            self.rejections.push((self.jobs[job_idx].record_index, e));
+                            online.record_rejection(self.now());
+                            self.waiting.remove(i);
+                        }
+                    }
+                }
+                Err(PlacementError::InsufficientCapacity { required, .. })
+                    if required > self.cfg.cloud.total_computing_capacity() =>
+                {
+                    // Impossible even on an idle cloud: epoch mode
+                    // fails the run, continuous mode rejects the job
+                    // and lives on.
+                    let err = PlacementError::InsufficientCapacity {
+                        required,
+                        available: self.cfg.cloud.total_computing_capacity(),
+                    };
+                    if !self.continuous {
+                        return Err(err);
+                    }
+                    self.rejections
+                        .push((self.jobs[job_idx].record_index, ExecError::Unplaceable(err)));
+                    online.record_rejection(self.now());
+                    self.waiting.remove(i);
+                }
+                Err(_) => {
+                    // Cannot fit now: wait. Under FCFS the head blocks
+                    // the queue; otherwise later jobs may backfill.
+                    if self.cfg.admission.head_of_line_blocks() {
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-sorts the waiting queue by metric + `aging_rate` × queueing
+    /// time (era-local), so starvation-prone policies (SJF, EDF)
+    /// eventually serve every waiter. A no-op at the default rate 0 or
+    /// under arrival-ordered policies.
+    fn age_queue(&mut self) {
+        if self.cfg.aging_rate <= 0.0 || self.waiting.len() < 2 {
+            return;
+        }
+        let Some(metrics) = self.ctx.metrics() else {
+            return;
+        };
+        let rate = self.cfg.aging_rate;
+        let now = self.exec.now();
+        let jobs = &self.jobs;
+        let aged = |id: usize| metrics[id] + rate * (now - jobs[id].arrival) as f64;
+        self.waiting.sort_by(|&a, &b| {
+            aged(b)
+                .partial_cmp(&aged(a))
+                .expect("finite queue metrics")
+                .then(a.cmp(&b))
+        });
+    }
+
+    /// Admits one arrival into the waiting queue — or sheds it at the
+    /// door when the load-shedding policy says the service is over its
+    /// overload threshold.
+    fn enqueue(&mut self, online: &mut OnlineReport, job_idx: usize) {
+        if let Some(shed) = self.cfg.load_shed {
+            if shed.should_shed(self.waiting.len(), online) {
+                self.rejections.push((
+                    self.jobs[job_idx].record_index,
+                    ExecError::LoadShed {
+                        queue_depth: self.waiting.len(),
+                    },
+                ));
+                online.record_rejection(self.now());
+                return;
+            }
+        }
+        self.cfg
+            .admission
+            .enqueue(&mut self.waiting, job_idx, self.ctx.metrics());
+        self.admission_dirty = true;
+    }
+
+    /// Suspends every running non-critical job (their parked remote
+    /// gates return communication pairs to the fabric; computing qubits
+    /// stay held — placements are not migratable).
+    fn suspend_noncritical(&mut self) {
+        for id in 0..self.admitted.len() {
+            if !self.admitted[id].critical {
+                self.exec.suspend_job(id);
+            }
+        }
+    }
+
+    /// Resumes every suspended job; true if any was suspended.
+    fn resume_all(&mut self) -> bool {
+        let mut any = false;
+        for id in 0..self.admitted.len() {
+            any |= self.exec.resume_job(id);
+        }
+        any
+    }
+
+    /// Folds a batch of finished executor jobs into the ledger, the
+    /// streaming report, and the window buffer; resumes suspended jobs
+    /// once the last critical job completes.
+    fn record_finished(&mut self, online: &mut OnlineReport, finished: Vec<usize>) {
+        if finished.is_empty() {
+            return;
+        }
+        self.admission_dirty = true;
+        let mut critical_done = 0;
+        for exec_id in finished {
+            let Admitted {
+                job,
+                demand,
+                critical,
+            } = &self.admitted[exec_id];
+            self.status.release_all_computing(demand);
+            if *critical {
+                critical_done += 1;
+            }
+            let result = self.exec.job_result(exec_id).expect("job finished");
+            let arrived = self.jobs[*job].arrival;
+            let queueing = result.started_at - arrived;
+            let service = result.finished_at - result.started_at;
+            let breakdown =
+                LatencyBreakdown::new(queueing, result.epr_wait, service - result.epr_wait);
+            let completion_time = Tick::new(result.finished_at - arrived);
+            // The streaming report always sees the lifetime clock, so
+            // cross-epoch series stay monotone.
+            online.record_completion(completion_time, breakdown, self.shift(result.finished_at));
+            let (arrived_at, admitted_at, finished_at) = if self.continuous {
+                (
+                    self.shift(arrived),
+                    self.shift(result.started_at),
+                    self.shift(result.finished_at),
+                )
+            } else {
+                (arrived, result.started_at, result.finished_at)
+            };
+            self.outcomes.push(JobRecord {
+                job: self.jobs[*job].record_index,
+                arrived_at,
+                admitted_at,
+                finished_at,
+                completion_time,
+                remote_gates: result.remote_gates,
+                epr_rounds: result.epr_rounds,
+                qubits: demand.iter().sum(),
+                breakdown,
+            });
+        }
+        if critical_done > 0 {
+            self.critical_running -= critical_done;
+            if self.critical_running == 0 && self.cfg.preemption {
+                self.resume_all();
+            }
+        }
+    }
+}

@@ -1,5 +1,5 @@
 //! The unified cloud runtime: workload → admission → executor →
-//! metrics, one-shot or resident.
+//! metrics, one-shot, epoch-resident, or continuous.
 //!
 //! One event-driven orchestration loop serves every execution mode of
 //! the paper — batch (§VI.D) and incoming jobs (§V.B) — plus the open
@@ -13,26 +13,35 @@
 //!      │ arrivals
 //!      ▼
 //!  Service core ── AdmissionPolicy (FCFS / backfill / priority /
-//!   (epochs)        SJF / weighted fair-share / deadline-aware)
+//!   (epochs or      SJF / weighted fair-share / deadline-aware)
+//!    continuous     + aging, preemption, LoadShedPolicy
+//!    clock)
 //!      │ placements (crate::placement, persistent PlacementCache)
 //!      ▼
-//!  Executor — shared EPR rounds, incremental front layer  crate::exec
+//!  Executor — shared EPR rounds, incremental front layer,  crate::exec
+//!             suspend/resume for preemption
 //!      │ completions
 //!      ▼
-//!  RunReport (per-epoch, retained records) +
-//!  OnlineReport (streaming, constant memory)      cloudqc_sim::{series,online}
+//!  RunReport (per-epoch) / WindowReport (continuous window) +
+//!  OnlineReport (streaming, lifetime clock)   cloudqc_sim::{series,online}
 //! ```
 //!
-//! The loop lives in the resident [`Service`] (`submit` / `drive` /
-//! `drain` epochs over a persistent placement cache and streaming
-//! metrics); the one-shot [`Orchestrator::run`] drives exactly one
+//! The loop lives in the resident [`Service`], which exposes two faces
+//! over one engine (`runtime/engine.rs`): epoch mode (`submit` /
+//! `drive` / `drain`, each drive a fresh clock-0 era) and the
+//! continuous clock (`drive_until` / `drive_for` /
+//! `drive_to_quiescence`, submissions landing on the live executor
+//! mid-flight). The one-shot [`Orchestrator::run`] drives exactly one
 //! epoch of a fresh service, so finite-trace experiments and service
-//! epochs are the same computation by construction.
+//! epochs are the same computation by construction — and epoch mode is
+//! itself the degenerate case of the continuous clock (see the golden
+//! test in `tests/runtime_golden.rs`).
 
 mod admission;
+mod engine;
 mod orchestrator;
 pub mod service;
 
-pub use admission::AdmissionPolicy;
+pub use admission::{AdmissionPolicy, LoadShedPolicy};
 pub use orchestrator::{JobRecord, Orchestrator, RunReport};
-pub use service::{Service, ServiceReport};
+pub use service::{Service, ServiceReport, WindowReport};

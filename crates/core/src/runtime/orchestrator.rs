@@ -23,7 +23,7 @@ use crate::error::{ExecError, PlacementError};
 use crate::exec::AllocStats;
 use crate::placement::{CacheStats, PlacementAlgorithm, PlacementCache};
 use crate::runtime::service::{RuntimeConfig, Service};
-use crate::runtime::AdmissionPolicy;
+use crate::runtime::{AdmissionPolicy, LoadShedPolicy};
 use crate::schedule::Scheduler;
 use crate::workload::Workload;
 use cloudqc_cloud::Cloud;
@@ -206,6 +206,9 @@ impl<'a> Orchestrator<'a> {
                 batched_allocation: true,
                 sharded_front_layer: true,
                 fingerprint_seeding: true,
+                preemption: false,
+                aging_rate: 0.0,
+                load_shed: None,
                 seed,
             },
         }
@@ -298,6 +301,44 @@ impl<'a> Orchestrator<'a> {
     /// pins them).
     pub fn with_fingerprint_seeding(mut self, enabled: bool) -> Self {
         self.cfg.fingerprint_seeding = enabled;
+        self
+    }
+
+    /// Enables SLA-driven preemption (off by default): admitting a job
+    /// that carries a deadline suspends every running deadline-free
+    /// job's remote gates, returning their communication pairs to the
+    /// fabric until no deadline-carrying job remains in flight.
+    /// Suspended jobs keep their computing qubits (placements are not
+    /// migratable) and resume exactly where they parked.
+    pub fn with_preemption(mut self, enabled: bool) -> Self {
+        self.cfg.preemption = enabled;
+        self
+    }
+
+    /// Sets the queue aging rate (default 0 = off): each waiting job's
+    /// queue metric grows by `rate` per tick it has waited, so
+    /// starvation-prone policies ([`AdmissionPolicy::ShortestJobFirst`],
+    /// [`AdmissionPolicy::DeadlineAware`]) eventually serve every
+    /// waiter. Arrival-ordered policies ignore it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is negative or not finite.
+    pub fn with_aging_rate(mut self, rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate >= 0.0,
+            "aging rate must be finite and non-negative"
+        );
+        self.cfg.aging_rate = rate;
+        self
+    }
+
+    /// Enables admission-time load shedding (off by default): arrivals
+    /// are rejected with [`crate::error::ExecError::LoadShed`] while
+    /// the service is over the policy's waiting-queue-depth or
+    /// streaming-p99 threshold.
+    pub fn with_load_shedding(mut self, policy: LoadShedPolicy) -> Self {
+        self.cfg.load_shed = Some(policy);
         self
     }
 

@@ -1,5 +1,5 @@
 //! The resident service core: one long-lived process serving an
-//! unbounded job stream in epochs.
+//! unbounded job stream on a continuous clock.
 //!
 //! [`crate::runtime::Orchestrator::run`] models a *finite trace*: every
 //! call rebuilds the placement cache from cold and retains every job
@@ -7,59 +7,71 @@
 //! service cannot do either. [`Service`] is the same event loop made
 //! resident — it owns the state that must outlive any single run:
 //!
-//! * a persistent [`PlacementCache`] shared across epochs, so
-//!   steady-state traffic of recurring circuit shapes is placed from
-//!   cache instead of re-running the full pipeline every epoch,
+//! * a persistent [`PlacementCache`] shared across epochs and windows,
 //! * a streaming [`OnlineReport`] (constant-memory running aggregates
-//!   plus a bounded reservoir for percentiles) that answers
-//!   mean/p95-JCT and throughput questions without retaining per-job
-//!   records, and
+//!   plus a bounded reservoir for percentiles) stamped on the service's
+//!   *lifetime clock*, so throughput and last-finish series from
+//!   successive epochs compose instead of piling up at tick 0,
 //! * lifetime totals of the executor's work counters
-//!   ([`AllocStats`], [`BatchStats`]) and the cache's hit/miss/eviction
-//!   counters.
+//!   ([`AllocStats`], [`BatchStats`]), the cache's hit/miss/eviction
+//!   counters, and the preemption policy's suspension count, and
+//! * in continuous mode, the *live engine itself*: executor, cloud
+//!   ledger, and in-flight jobs stay resident between calls.
 //!
 //! # Lifecycle
 //!
 //! ```text
-//!   Service::new ──► submit / submit_workload   (buffer the epoch)
-//!        ▲                    │
-//!        │                    ▼
-//!        │              drive()  ── one epoch: admission → placement
-//!        │                    │     (persistent cache) → executor →
-//!        │                    │     per-epoch RunReport; completions
-//!        │                    │     fold into the OnlineReport
-//!        │                    ▼
-//!        └──── more submits ◄─┴─► drain() ── flush + ServiceReport
-//!                                            (lifetime totals)
+//!   Service::new ──► submit / submit_workload      (buffer jobs)
+//!        ▲                     │
+//!        │          ┌──────────┴─────────────┐
+//!        │          ▼                        ▼
+//!        │   drive()                  drive_until(t) / drive_for(Δ)
+//!        │   one epoch: fresh         / drive_to_quiescence()
+//!        │   clock-0 engine run       inject onto the LIVE engine,
+//!        │   to quiescence;           advance until quiescent or the
+//!        │   per-epoch RunReport      budget; WindowReport of the
+//!        │          │                 completions/rejections seen
+//!        │          │                        │
+//!        │          ▼                        ▼
+//!        └── more submits ◄────┴──► drain() ── flush + ServiceReport
+//!                                              (lifetime totals)
 //! ```
 //!
-//! Each epoch is an independent simulation run (its clock starts at
-//! tick 0 with an idle cloud); what persists between epochs is the
-//! *warmth* — cache entries and metrics. Cache reuse never changes
-//! outcomes, only speed: with the default exact signature a hit replays
-//! a pure function of inputs the signature captures completely, and
-//! every reuse is re-validated with `Placement::fits` (the two-epoch
-//! golden test pins warm-epoch outcomes against independent cold runs).
+//! Epoch mode is the degenerate case of the continuous clock: a
+//! continuous run re-anchors whenever a submission lands on a fully
+//! drained engine (fresh executor, ledger, and admission context — see
+//! `runtime/engine.rs`), so continuous runs over concatenated workloads
+//! reproduce epoch mode byte-for-byte whenever the cloud drains between
+//! them; the golden test in `tests/runtime_golden.rs` pins this. The
+//! two faces must not interleave mid-flight: [`Service::drive`] panics
+//! while the continuous engine has in-flight work (quiesce first).
 //!
-//! An epoch that fails with a [`PlacementError`] consumes its
-//! submissions and contributes nothing to the streaming metrics or
-//! lifetime counters (the pre-epoch report is restored); only cache
-//! entries warmed before the failure remain — memoized pure functions,
-//! observable solely as speed.
+//! Cache reuse never changes outcomes, only speed: with the default
+//! exact signature a hit replays a pure function of inputs the
+//! signature captures completely, and every reuse is re-validated with
+//! `Placement::fits` (the two-epoch golden test pins warm-epoch
+//! outcomes against independent cold runs).
+//!
+//! An epoch that fails with a [`PlacementError`] *restores* its
+//! submissions to the pending buffer and contributes nothing to the
+//! streaming metrics or lifetime counters (the pre-epoch report is
+//! restored); only cache entries warmed before the failure remain —
+//! memoized pure functions, observable solely as speed.
 
 use crate::error::{ExecError, PlacementError};
-use crate::exec::{AllocStats, Executor};
+use crate::exec::AllocStats;
 use crate::placement::{CacheStats, PlacementAlgorithm, PlacementCache};
+use crate::runtime::engine::Engine;
 use crate::runtime::orchestrator::{JobRecord, RunReport};
-use crate::runtime::AdmissionPolicy;
+use crate::runtime::{AdmissionPolicy, LoadShedPolicy};
 use crate::schedule::Scheduler;
 use crate::workload::{Workload, WorkloadJob};
-use cloudqc_cloud::{Cloud, CloudStatus};
+use cloudqc_cloud::Cloud;
 use cloudqc_sim::online::OnlineReport;
-use cloudqc_sim::series::{BatchStats, LatencyBreakdown};
+use cloudqc_sim::series::BatchStats;
 use cloudqc_sim::Tick;
 
-/// The full runtime configuration one epoch runs under — shared
+/// The full runtime configuration one epoch or era runs under — shared
 /// verbatim between the one-shot [`crate::runtime::Orchestrator`] and
 /// the resident [`Service`] so the two can never drift apart.
 #[derive(Copy, Clone)]
@@ -75,21 +87,25 @@ pub(crate) struct RuntimeConfig<'a> {
     pub(crate) batched_allocation: bool,
     pub(crate) sharded_front_layer: bool,
     pub(crate) fingerprint_seeding: bool,
+    pub(crate) preemption: bool,
+    pub(crate) aging_rate: f64,
+    pub(crate) load_shed: Option<LoadShedPolicy>,
     pub(crate) seed: u64,
 }
 
 /// Lifetime summary of a [`Service`]: everything it aggregated across
-/// every epoch driven so far.
+/// every epoch and continuous window driven so far.
 #[derive(Clone, Debug)]
 pub struct ServiceReport {
-    /// Epochs driven to completion.
+    /// Epochs driven to completion (continuous windows do not count).
     pub epochs: u64,
-    /// Jobs completed across all epochs.
+    /// Jobs completed across all epochs and windows.
     pub completed: u64,
-    /// Jobs rejected across all epochs (communication starvation or
-    /// SLA expiry).
+    /// Jobs rejected across all epochs and windows (communication
+    /// starvation, SLA expiry, load shedding, or unplaceability).
     pub rejected: u64,
-    /// The streaming metrics aggregated over every completion.
+    /// The streaming metrics aggregated over every completion, on the
+    /// lifetime clock.
     pub online: OnlineReport,
     /// Lifetime hit/miss/eviction counters of the persistent placement
     /// cache (all zero when the cache is disabled).
@@ -97,14 +113,40 @@ pub struct ServiceReport {
     /// Entries currently resident in the persistent cache.
     pub cache_entries: usize,
     /// Lifetime allocation-pass work counters summed over every
-    /// epoch's executor.
+    /// executor the service ran.
     pub allocation: AllocStats,
     /// Lifetime same-tick event-batch distribution summed over every
-    /// epoch's executor.
+    /// executor the service ran.
     pub event_batches: BatchStats,
+    /// Lifetime job suspensions performed by the preemption policy.
+    pub preemptions: u64,
 }
 
-/// A resident runtime serving jobs in epochs over long-lived state.
+/// What one continuous-clock window observed: the completions and
+/// rejections that happened between the previous `drive_*` call and
+/// this one.
+#[derive(Clone, Debug)]
+pub struct WindowReport {
+    /// Jobs that completed in the window, in completion order, stamped
+    /// on the lifetime clock. [`JobRecord::job`] is the job's lifetime
+    /// submission index (continuous submissions are numbered from 0 in
+    /// the order they were submitted).
+    pub outcomes: Vec<JobRecord>,
+    /// Jobs rejected in the window (same index space), with the typed
+    /// reason — SLA expiry, communication starvation, load shedding
+    /// ([`ExecError::LoadShed`]), or unplaceability
+    /// ([`ExecError::Unplaceable`]).
+    pub rejected: Vec<(usize, ExecError)>,
+    /// The lifetime clock after the window.
+    pub now: Tick,
+    /// Whether the service is fully quiescent: nothing in flight,
+    /// nothing waiting, nothing still to arrive.
+    pub quiescent: bool,
+}
+
+/// A resident runtime serving an unbounded job stream over long-lived
+/// state, with an epoch face ([`Service::drive`]) and a continuous
+/// face ([`Service::drive_until`] and friends).
 ///
 /// Construct one through
 /// [`crate::runtime::Orchestrator::into_service`] (inheriting every
@@ -145,21 +187,30 @@ pub struct Service<'a> {
     cache: Option<PlacementCache>,
     /// Streaming metrics over every completion the service has seen.
     online: OnlineReport,
-    /// Jobs submitted since the last `drive`.
+    /// Jobs submitted since the last `drive*` call.
     pending: Vec<WorkloadJob>,
+    /// The continuous-clock engine, once `drive_until`/`drive_for`/
+    /// `drive_to_quiescence` has been called.
+    live: Option<Engine<'a>>,
+    /// Lifetime tick the *next* era starts at, when no engine is live.
+    clock: u64,
+    /// Jobs ever injected into continuous engines (the continuous
+    /// reporting index space).
+    injected: usize,
     epochs: u64,
     completed: u64,
     rejected: u64,
     allocation: AllocStats,
     event_batches: BatchStats,
+    preemptions: u64,
 }
 
 impl<'a> Service<'a> {
     /// A resident service with the default runtime configuration
     /// (priority-aware backfill admission, placement cache on, exact
     /// cache signature, batched allocation, sharded front layer,
-    /// fingerprint seeding) — the same defaults as
-    /// [`crate::runtime::Orchestrator::new`].
+    /// fingerprint seeding; preemption, aging, and load shedding off) —
+    /// the same defaults as [`crate::runtime::Orchestrator::new`].
     pub fn new(
         cloud: &'a Cloud,
         placement: &'a dyn PlacementAlgorithm,
@@ -177,11 +228,15 @@ impl<'a> Service<'a> {
             cache,
             online: OnlineReport::new(cfg.seed),
             pending: Vec::new(),
+            live: None,
+            clock: 0,
+            injected: 0,
             epochs: 0,
             completed: 0,
             rejected: 0,
             allocation: AllocStats::default(),
             event_batches: BatchStats::default(),
+            preemptions: 0,
             cfg,
         }
     }
@@ -206,25 +261,25 @@ impl<'a> Service<'a> {
         self
     }
 
-    /// Buffers one job (default tenant metadata) for the next epoch;
-    /// returns its index within that epoch.
+    /// Buffers one job (default tenant metadata) for the next `drive*`
+    /// call; returns its index within the pending buffer.
     pub fn submit(&mut self, circuit: cloudqc_circuit::Circuit, arrival: Tick) -> usize {
         self.submit_job(WorkloadJob::new(circuit, arrival))
     }
 
     /// Buffers one job with explicit tenant/weight/deadline metadata;
-    /// returns its index within the next epoch.
+    /// returns its index within the pending buffer.
     pub fn submit_job(&mut self, job: WorkloadJob) -> usize {
         self.pending.push(job);
         self.pending.len() - 1
     }
 
-    /// Buffers every job of `workload` for the next epoch.
+    /// Buffers every job of `workload` for the next `drive*` call.
     pub fn submit_workload(&mut self, workload: &Workload) {
         self.pending.extend(workload.jobs().iter().cloned());
     }
 
-    /// Jobs buffered for the next epoch.
+    /// Jobs buffered and not yet handed to an engine.
     pub fn pending(&self) -> usize {
         self.pending.len()
     }
@@ -232,6 +287,27 @@ impl<'a> Service<'a> {
     /// Epochs driven to completion so far.
     pub fn epochs(&self) -> u64 {
         self.epochs
+    }
+
+    /// The service's lifetime clock: how much simulated time every
+    /// epoch and continuous window has covered so far.
+    pub fn now(&self) -> Tick {
+        match &self.live {
+            Some(engine) => engine.now(),
+            None => Tick::new(self.clock),
+        }
+    }
+
+    /// Arrived jobs currently waiting for admission on the live
+    /// continuous engine (0 when none is live).
+    pub fn queue_depth(&self) -> usize {
+        self.live.as_ref().map_or(0, |e| e.queue_depth())
+    }
+
+    /// Jobs admitted and still running on the live continuous engine
+    /// (0 when none is live).
+    pub fn in_flight(&self) -> usize {
+        self.live.as_ref().map_or(0, |e| e.in_flight())
     }
 
     /// The streaming metrics aggregated so far.
@@ -252,6 +328,14 @@ impl<'a> Service<'a> {
 
     /// Snapshot of the lifetime totals without driving anything.
     pub fn report(&self) -> ServiceReport {
+        let mut allocation = self.allocation;
+        let mut event_batches = self.event_batches.clone();
+        let mut preemptions = self.preemptions;
+        if let Some(engine) = &self.live {
+            allocation.merge(engine.allocation());
+            event_batches.merge(&engine.event_batches());
+            preemptions += engine.preemptions();
+        }
         ServiceReport {
             epochs: self.epochs,
             completed: self.completed,
@@ -259,19 +343,25 @@ impl<'a> Service<'a> {
             online: self.online.clone(),
             placement_cache: self.cache_stats(),
             cache_entries: self.cache_entries(),
-            allocation: self.allocation,
-            event_batches: self.event_batches.clone(),
+            allocation,
+            event_batches,
+            preemptions,
         }
     }
 
-    /// Flushes any buffered submissions through one final epoch and
-    /// returns the lifetime totals.
+    /// Flushes any buffered submissions (through the live continuous
+    /// engine if one exists, else one final epoch) and returns the
+    /// lifetime totals.
     ///
     /// # Errors
     ///
-    /// Propagates the flush epoch's [`PlacementError`], if any.
+    /// Propagates the flush run's [`PlacementError`], if any (the
+    /// continuous path rejects unplaceable jobs instead of erroring).
     pub fn drain(&mut self) -> Result<ServiceReport, PlacementError> {
-        if !self.pending.is_empty() {
+        if self.live.is_some() {
+            self.drive_to_quiescence()?;
+            self.retire_live();
+        } else if !self.pending.is_empty() {
             self.drive()?;
         }
         Ok(self.report())
@@ -279,15 +369,17 @@ impl<'a> Service<'a> {
 
     /// Runs every buffered submission to completion as one epoch and
     /// reports it. The epoch's simulation clock starts at tick 0 over
-    /// an idle cloud; the persistent cache and streaming metrics carry
-    /// over from previous epochs.
+    /// an idle cloud (its span still advances the service's lifetime
+    /// clock, so streaming series stay monotone across epochs); the
+    /// persistent cache and streaming metrics carry over from previous
+    /// epochs.
     ///
     /// The returned [`RunReport`] is *per-epoch*: its
     /// [`RunReport::placement_cache`] counters are the deltas this
     /// epoch added to the persistent cache (so a fully-warm epoch shows
     /// hits with zero misses), and its outcome records are this epoch's
-    /// only. Lifetime aggregates accumulate on the service
-    /// ([`Service::report`]).
+    /// only, stamped on the epoch-local clock. Lifetime aggregates
+    /// accumulate on the service ([`Service::report`]).
     ///
     /// # Errors
     ///
@@ -296,259 +388,150 @@ impl<'a> Service<'a> {
     /// *placement* succeeds but can never *execute* (communication
     /// starvation), and jobs whose SLA expired under deadline-aware
     /// admission, are rejected in the report, not errors. A failed
-    /// epoch consumes its submissions but contributes *nothing* to the
-    /// streaming metrics or lifetime counters — the pre-epoch report is
-    /// restored, so [`Service::report`] stays internally consistent
-    /// (only placement-cache entries warmed before the failure remain,
-    /// which is observable solely as speed).
+    /// epoch *restores* its submissions to the pending buffer (so
+    /// callers can inspect or retry them) and contributes nothing to
+    /// the streaming metrics or lifetime counters — the pre-epoch
+    /// report is restored, so [`Service::report`] stays internally
+    /// consistent (only placement-cache entries warmed before the
+    /// failure remain, which is observable solely as speed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the continuous engine has in-flight work — call
+    /// [`Service::drive_to_quiescence`] first; a quiescent engine is
+    /// retired transparently.
     pub fn drive(&mut self) -> Result<RunReport, PlacementError> {
+        assert!(
+            self.live.as_ref().is_none_or(|e| e.is_quiescent()),
+            "cannot drive an epoch while the continuous engine has in-flight work; \
+             call drive_to_quiescence() first"
+        );
+        self.retire_live();
         let jobs = std::mem::take(&mut self.pending);
         let cache_before = self.cache_stats();
         let online_before = self.online.clone();
-        let report = match self.run_epoch(&jobs) {
-            Ok(report) => report,
+        match self.run_epoch(&jobs) {
+            Ok(report) => {
+                self.epochs += 1;
+                self.completed += report.outcomes.len() as u64;
+                self.rejected += report.rejected.len() as u64;
+                self.allocation.merge(report.allocation);
+                self.event_batches.merge(&report.event_batches);
+                Ok(RunReport {
+                    placement_cache: self.cache_stats().since(&cache_before),
+                    ..report
+                })
+            }
             Err(e) => {
                 // Roll back the partial epoch's streaming records so
-                // the lifetime counters (which only advance below, on
-                // success) and the online report never diverge.
+                // the lifetime counters (which only advance above, on
+                // success) and the online report never diverge — and
+                // put the submissions back where the caller can see
+                // them.
                 self.online = online_before;
-                return Err(e);
+                self.pending = jobs;
+                Err(e)
             }
-        };
-        self.epochs += 1;
-        self.completed += report.outcomes.len() as u64;
-        self.rejected += report.rejected.len() as u64;
-        self.allocation.merge(report.allocation);
-        self.event_batches.merge(&report.event_batches);
-        Ok(RunReport {
-            placement_cache: self.cache_stats().since(&cache_before),
-            ..report
+        }
+    }
+
+    /// Advances the continuous clock until it reaches `deadline` (a
+    /// lifetime tick) or the service quiesces, whichever comes first.
+    /// Buffered submissions are injected onto the live engine first —
+    /// mid-flight if work is running, re-anchoring a fresh era if the
+    /// cloud has fully drained. Returns what the window observed.
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError`] only in pathological engine states;
+    /// unplaceable jobs are rejected with [`ExecError::Unplaceable`]
+    /// rather than erroring.
+    pub fn drive_until(&mut self, deadline: Tick) -> Result<WindowReport, PlacementError> {
+        self.advance_live(Some(deadline))
+    }
+
+    /// [`Service::drive_until`] relative form: advance the continuous
+    /// clock by `ticks` from now.
+    pub fn drive_for(&mut self, ticks: u64) -> Result<WindowReport, PlacementError> {
+        let deadline = Tick::new(self.now().as_ticks().saturating_add(ticks));
+        self.drive_until(deadline)
+    }
+
+    /// Advances the continuous clock until nothing is in flight,
+    /// waiting, or still to arrive. Returns what the window observed
+    /// (with [`WindowReport::quiescent`] true).
+    ///
+    /// # Errors
+    ///
+    /// As [`Service::drive_until`].
+    pub fn drive_to_quiescence(&mut self) -> Result<WindowReport, PlacementError> {
+        self.advance_live(None)
+    }
+
+    fn advance_live(&mut self, deadline: Option<Tick>) -> Result<WindowReport, PlacementError> {
+        if self.live.is_none() {
+            self.live = Some(Engine::new(self.cfg, true, self.clock));
+        }
+        let jobs = std::mem::take(&mut self.pending);
+        let first = self.injected;
+        self.injected += jobs.len();
+        let cache_active = self.cache.is_some();
+        let engine = self.live.as_mut().expect("engine installed above");
+        engine.inject(jobs, first, cache_active);
+        engine.advance(&mut self.online, &mut self.cache, deadline)?;
+        let (outcomes, rejected) = engine.take_window();
+        self.completed += outcomes.len() as u64;
+        self.rejected += rejected.len() as u64;
+        Ok(WindowReport {
+            now: engine.now(),
+            quiescent: engine.is_quiescent(),
+            outcomes,
+            rejected,
         })
     }
 
-    /// The event loop of one epoch — the code that was
-    /// `Orchestrator::run` before the service refactor, operating on
-    /// the service's persistent cache and metrics.
-    fn run_epoch(&mut self, jobs: &[WorkloadJob]) -> Result<RunReport, PlacementError> {
-        let cfg = self.cfg;
-        let cache = &mut self.cache;
-        let online = &mut self.online;
-        let n = jobs.len();
-        // Arrival order (stable on ties: workload index).
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by_key(|&i| jobs[i].arrival);
-        let circuits: Vec<&cloudqc_circuit::Circuit> = jobs.iter().map(|j| &j.circuit).collect();
-        let ctx = cfg.admission.prepare(jobs, cfg.cloud);
-
-        let mut status = cfg.cloud.status();
-        let mut exec = Executor::new(cfg.cloud, cfg.scheduler, cfg.seed)
-            .with_path_reservation(cfg.path_reservation)
-            .with_batched_allocation(cfg.batched_allocation)
-            .with_sharded_front_layer(cfg.sharded_front_layer);
-        // One fingerprint per job, computed up front so cache lookups
-        // on the admission hot path are O(qpus), not O(gates).
-        let fingerprints: Vec<cloudqc_circuit::Fingerprint> =
-            if cache.is_some() || cfg.fingerprint_seeding {
-                circuits.iter().map(|c| c.fingerprint()).collect()
-            } else {
-                Vec::new()
-            };
-        let mut waiting: Vec<usize> = Vec::new();
-        // exec job id -> (workload index, demand vector)
-        let mut admitted: Vec<(usize, Vec<usize>)> = Vec::new();
-        let mut outcomes: Vec<Option<JobRecord>> = vec![None; n];
-        let mut rejected: Vec<(usize, ExecError)> = Vec::new();
-        let mut next_arrival = 0usize;
-
-        let record = |exec: &Executor,
-                      admitted: &[(usize, Vec<usize>)],
-                      status: &mut CloudStatus,
-                      outcomes: &mut Vec<Option<JobRecord>>,
-                      online: &mut OnlineReport,
-                      finished: Vec<usize>| {
-            for exec_id in finished {
-                let (job_idx, demand) = &admitted[exec_id];
-                status.release_all_computing(demand);
-                let result = exec.job_result(exec_id).expect("job finished");
-                let arrived = jobs[*job_idx].arrival;
-                let queueing = result.started_at - arrived;
-                let service = result.finished_at - result.started_at;
-                let breakdown =
-                    LatencyBreakdown::new(queueing, result.epr_wait, service - result.epr_wait);
-                let completion_time = Tick::new(result.finished_at - arrived);
-                online.record_completion(completion_time, breakdown, result.finished_at);
-                outcomes[*job_idx] = Some(JobRecord {
-                    job: *job_idx,
-                    arrived_at: arrived,
-                    admitted_at: result.started_at,
-                    finished_at: result.finished_at,
-                    completion_time,
-                    remote_gates: result.remote_gates,
-                    epr_rounds: result.epr_rounds,
-                    qubits: demand.iter().sum(),
-                    breakdown,
-                });
-            }
-        };
-
-        loop {
-            // Admit every waiting job the policy and resources allow.
-            let mut i = 0;
-            while i < waiting.len() {
-                let job_idx = waiting[i];
-                // SLA admission control: prune jobs whose deadline can
-                // no longer be met instead of retrying them forever.
-                if let Some(deadline) = cfg.admission.sla_violation(&ctx, job_idx, exec.now()) {
-                    rejected.push((
-                        job_idx,
-                        ExecError::SlaExpired {
-                            deadline,
-                            now: exec.now(),
-                        },
-                    ));
-                    online.record_rejection();
-                    waiting.remove(i);
-                    continue;
-                }
-                let job_seed = if cfg.fingerprint_seeding {
-                    cfg.seed ^ fingerprints[job_idx].as_u64()
-                } else {
-                    cfg.seed ^ (job_idx as u64) << 17
-                };
-                let placed = match cache.as_mut() {
-                    Some(cache) => cache.place_fingerprinted(
-                        fingerprints[job_idx],
-                        cfg.placement,
-                        circuits[job_idx],
-                        cfg.cloud,
-                        &status,
-                        job_seed,
-                    ),
-                    None => cfg
-                        .placement
-                        .place(circuits[job_idx], cfg.cloud, &status, job_seed),
-                };
-                match placed {
-                    Ok(p) => {
-                        let demand = p.qpu_demand(cfg.cloud.qpu_count());
-                        match exec.try_add_job(circuits[job_idx], &p) {
-                            Ok(exec_id) => {
-                                status
-                                    .allocate_all_computing(&demand)
-                                    .expect("placement.fits was checked by the algorithm");
-                                debug_assert_eq!(exec_id, admitted.len());
-                                admitted.push((job_idx, demand));
-                                waiting.remove(i);
-                            }
-                            Err(e) => {
-                                // The placement can never execute:
-                                // reject the job, keep the run going.
-                                rejected.push((job_idx, e));
-                                online.record_rejection();
-                                waiting.remove(i);
-                            }
-                        }
-                    }
-                    Err(PlacementError::InsufficientCapacity { required, .. })
-                        if required > cfg.cloud.total_computing_capacity() =>
-                    {
-                        // Impossible even on an idle cloud: fail the run.
-                        return Err(PlacementError::InsufficientCapacity {
-                            required,
-                            available: cfg.cloud.total_computing_capacity(),
-                        });
-                    }
-                    Err(_) => {
-                        // Cannot fit now: wait. Under FCFS the head
-                        // blocks the queue; otherwise later jobs may
-                        // backfill.
-                        if cfg.admission.head_of_line_blocks() {
-                            break;
-                        }
-                        i += 1;
-                    }
-                }
-            }
-
-            // Advance: to the next arrival if one is pending, else to
-            // the next completion.
-            if next_arrival < order.len() {
-                let arrival_time = jobs[order[next_arrival]].arrival;
-                let finished = exec.run_until(arrival_time);
-                record(
-                    &exec,
-                    &admitted,
-                    &mut status,
-                    &mut outcomes,
-                    online,
-                    finished,
-                );
-                // Enqueue every job arriving at this instant.
-                while next_arrival < order.len()
-                    && jobs[order[next_arrival]].arrival <= arrival_time
-                {
-                    cfg.admission
-                        .enqueue(&mut waiting, order[next_arrival], ctx.metrics());
-                    next_arrival += 1;
-                }
-            } else if exec.unfinished_jobs() > 0 {
-                let finished = exec.run_until_next_completion();
-                if finished.is_empty() && !waiting.is_empty() {
-                    return Err(PlacementError::NoFeasiblePlacement);
-                }
-                record(
-                    &exec,
-                    &admitted,
-                    &mut status,
-                    &mut outcomes,
-                    online,
-                    finished,
-                );
-            } else {
-                // Gate-less circuits finish inside try_add_job without
-                // raising unfinished_jobs; drain them before deciding
-                // the run is over (run_until_next_completion returns
-                // the buffered completions without stepping).
-                let finished = exec.run_until_next_completion();
-                if !finished.is_empty() {
-                    record(
-                        &exec,
-                        &admitted,
-                        &mut status,
-                        &mut outcomes,
-                        online,
-                        finished,
-                    );
-                } else if waiting.is_empty() {
-                    break;
-                } else {
-                    // Idle executor, no arrivals left, jobs still
-                    // waiting: they must fit the (fully free) cloud or
-                    // never will.
-                    return Err(PlacementError::NoFeasiblePlacement);
-                }
-            }
+    /// Folds a quiescent live engine's stats into the lifetime totals
+    /// and drops it, so epoch mode can take over the clock.
+    fn retire_live(&mut self) {
+        if let Some(engine) = self.live.take() {
+            debug_assert!(engine.is_quiescent(), "retire requires quiescence");
+            self.clock = engine.now().as_ticks();
+            self.allocation.merge(engine.allocation());
+            self.event_batches.merge(&engine.event_batches());
+            self.preemptions += engine.preemptions();
         }
+    }
 
-        let outcomes: Vec<JobRecord> = outcomes.into_iter().flatten().collect();
+    /// The event loop of one epoch: a fresh engine injected once and
+    /// advanced to quiescence (the degenerate case of the continuous
+    /// clock).
+    fn run_epoch(&mut self, jobs: &[WorkloadJob]) -> Result<RunReport, PlacementError> {
+        let n = jobs.len();
+        let mut engine = Engine::new(self.cfg, false, self.clock);
+        engine.inject(jobs.to_vec(), 0, self.cache.is_some());
+        engine.advance(&mut self.online, &mut self.cache, None)?;
+        let (mut outcomes, rejected) = engine.take_window();
+        outcomes.sort_by_key(|o| o.job);
         debug_assert_eq!(outcomes.len() + rejected.len(), n, "every job accounted");
         let makespan = outcomes
             .iter()
             .map(|o| o.finished_at)
             .max()
             .unwrap_or(Tick::ZERO);
-        let final_free_computing: Vec<usize> = (0..cfg.cloud.qpu_count())
-            .map(|i| status.free_computing(cloudqc_cloud::QpuId::new(i)))
-            .collect();
+        // The epoch's span still advances the lifetime clock; stats of
+        // the epoch's executor fold into the lifetime totals in
+        // `drive` (via the report), not here.
+        self.clock = engine.now().as_ticks();
+        self.preemptions += engine.preemptions();
         Ok(RunReport {
+            final_free_computing: engine.free_computing(),
+            final_free_communication: engine.comm_free().to_vec(),
+            placement_cache: self.cache_stats(),
+            event_batches: engine.event_batches(),
+            allocation: engine.allocation(),
             outcomes,
             rejected,
             makespan,
-            final_free_computing,
-            final_free_communication: exec.comm_free().to_vec(),
-            placement_cache: cache.as_ref().map(|c| c.stats()).unwrap_or_default(),
-            event_batches: exec.batch_stats().clone(),
-            allocation: exec.alloc_stats(),
         })
     }
 }
@@ -608,6 +591,39 @@ mod tests {
             e1.placement_cache.misses + e2.placement_cache.misses
         );
         assert!(report.cache_entries > 0);
+    }
+
+    #[test]
+    fn lifetime_clock_spans_epochs_and_keeps_series_monotone() {
+        // Satellite regression: successive epochs used to restamp the
+        // streaming report from tick 0, so lifetime series overlapped.
+        // The lifetime clock must advance past epoch 1's makespan and
+        // the online report's last-finish must land on it.
+        let cloud = CloudBuilder::paper_default(3).build();
+        let placement = CloudQcPlacement::default();
+        let mut svc = Service::new(&cloud, &placement, &CloudQcScheduler, 5);
+        let w = Workload::poisson(&pool(), 4, 3_000.0, 5);
+        svc.submit_workload(&w);
+        let e1 = svc.drive().unwrap();
+        let after_first = svc.now();
+        assert!(after_first >= e1.makespan, "clock covers the epoch");
+        let last_finish_1 = svc.online().last_finish();
+        svc.submit_workload(&w);
+        let e2 = svc.drive().unwrap();
+        assert!(svc.now() > after_first, "clock keeps advancing");
+        let last_finish_2 = svc.online().last_finish();
+        assert!(
+            last_finish_2 > last_finish_1,
+            "epoch 2 completions stamp after epoch 1 ({last_finish_2:?} vs {last_finish_1:?})"
+        );
+        assert_eq!(
+            last_finish_2.as_ticks(),
+            after_first.as_ticks() + e2.makespan.as_ticks(),
+            "epoch-local stamps shift by the lifetime base"
+        );
+        // Per-epoch reports stay epoch-local (byte-compatible with
+        // pre-continuous goldens).
+        assert!(e2.outcomes.iter().any(|o| o.finished_at <= e2.makespan));
     }
 
     #[test]
@@ -682,7 +698,8 @@ mod tests {
         // Job 0 completes before job 1 even arrives; job 1 can never
         // fit the whole cloud, so the epoch errors *after* a completion
         // was streamed. The rollback must keep the lifetime counters
-        // and the online report in lockstep (both untouched).
+        // and the online report in lockstep (both untouched) and put
+        // the submissions back in the pending buffer.
         let cloud = CloudBuilder::new(2)
             .computing_qubits(8)
             .line_topology()
@@ -700,13 +717,18 @@ mod tests {
         assert_eq!(report.online.completed(), 0);
         assert_eq!(report.online.rejected(), 0);
         assert_eq!(report.online.throughput_per_tick(), 0.0);
-        assert_eq!(svc.pending(), 0, "a failed epoch consumes submissions");
-        // The service remains usable: a clean epoch still works.
-        svc.submit(catalog::by_name("vqe_n4").unwrap(), Tick::ZERO);
+        assert_eq!(svc.now(), Tick::ZERO, "a failed epoch leaves the clock");
+        // The fix: a failed epoch restores its submissions so callers
+        // can inspect what was in it or retry after dropping the
+        // offender.
+        assert_eq!(svc.pending(), 2, "a failed epoch restores submissions");
+        // Drop the oversized job and retry what's left.
+        svc.pending.truncate(1);
         let ok = svc.drive().unwrap();
         assert_eq!(ok.outcomes.len(), 1);
         assert_eq!(svc.report().completed, 1);
         assert_eq!(svc.online().completed(), 1);
+        assert_eq!(svc.pending(), 0);
     }
 
     #[test]
@@ -752,5 +774,208 @@ mod tests {
         );
         assert_eq!(report.outcomes.len() + report.rejected.len(), 3);
         assert_eq!(svc.online().rejected(), report.rejected.len() as u64);
+    }
+
+    #[test]
+    fn continuous_drive_matches_epoch_results() {
+        // One workload through drive_to_quiescence == the same workload
+        // through one epoch (fresh services, same config).
+        let cloud = CloudBuilder::paper_default(4).build();
+        let placement = CloudQcPlacement::default();
+        let w = Workload::poisson(&pool(), 5, 2_000.0, 4);
+        let epoch = {
+            let mut svc = Service::new(&cloud, &placement, &CloudQcScheduler, 6);
+            svc.submit_workload(&w);
+            svc.drive().unwrap()
+        };
+        let mut svc = Service::new(&cloud, &placement, &CloudQcScheduler, 6);
+        svc.submit_workload(&w);
+        let window = svc.drive_to_quiescence().unwrap();
+        assert!(window.quiescent);
+        assert_eq!(window.outcomes.len(), epoch.outcomes.len());
+        let mut by_job = window.outcomes.clone();
+        by_job.sort_by_key(|o| o.job);
+        for (a, b) in by_job.iter().zip(&epoch.outcomes) {
+            assert_eq!(a.job, b.job);
+            assert_eq!(a.completion_time, b.completion_time);
+            assert_eq!(a.finished_at, b.finished_at, "first era starts at base 0");
+        }
+        assert_eq!(window.now, w.last_arrival().max(epoch.makespan));
+        assert_eq!(svc.report().completed, epoch.outcomes.len() as u64);
+    }
+
+    #[test]
+    fn drive_for_budget_pauses_and_resumes_mid_flight() {
+        let cloud = CloudBuilder::paper_default(4).build();
+        let placement = CloudQcPlacement::default();
+        let w = Workload::poisson(&pool(), 6, 2_000.0, 4);
+        // Reference: one uninterrupted continuous run.
+        let mut whole = Service::new(&cloud, &placement, &CloudQcScheduler, 6);
+        whole.submit_workload(&w);
+        let complete = whole.drive_to_quiescence().unwrap();
+        // Same stream advanced in small budget slices.
+        let mut sliced = Service::new(&cloud, &placement, &CloudQcScheduler, 6);
+        sliced.submit_workload(&w);
+        let mut outcomes = Vec::new();
+        let mut windows = 0;
+        loop {
+            let window = sliced.drive_for(1_500).unwrap();
+            outcomes.extend(window.outcomes);
+            windows += 1;
+            assert!(windows < 10_000, "budget slices must make progress");
+            if window.quiescent {
+                break;
+            }
+            // A budget-bounded window parks the clock on the deadline.
+            assert_eq!(window.now, sliced.now());
+        }
+        assert!(windows > 2, "the workload spans several slices");
+        assert_eq!(outcomes.len(), complete.outcomes.len());
+        for (a, b) in outcomes.iter().zip(&complete.outcomes) {
+            assert_eq!(a, b, "slicing the clock must not change outcomes");
+        }
+    }
+
+    #[test]
+    fn load_shedding_rejects_arrivals_over_the_depth_limit() {
+        // A burst of simultaneous arrivals on a tiny cloud: with a
+        // queue-depth cap the tail of the burst is shed at the door.
+        let cloud = CloudBuilder::new(2)
+            .computing_qubits(10)
+            .line_topology()
+            .build();
+        let placement = CloudQcPlacement::default();
+        let jobs = vec![catalog::by_name("ghz_n16").unwrap(); 6];
+        let mut svc = Orchestrator::new(&cloud, &placement, &CloudQcScheduler, 3)
+            .with_load_shedding(LoadShedPolicy::queue_depth(2))
+            .into_service();
+        svc.submit_workload(&Workload::batch(jobs));
+        let window = svc.drive_to_quiescence().unwrap();
+        let shed: Vec<&(usize, ExecError)> = window
+            .rejected
+            .iter()
+            .filter(|(_, e)| matches!(e, ExecError::LoadShed { .. }))
+            .collect();
+        assert!(!shed.is_empty(), "burst tail must be shed");
+        assert_eq!(window.outcomes.len() + window.rejected.len(), 6);
+        assert_eq!(svc.online().rejected(), window.rejected.len() as u64);
+        // Without the policy everything eventually runs.
+        let mut free = Orchestrator::new(&cloud, &placement, &CloudQcScheduler, 3).into_service();
+        free.submit_workload(&Workload::batch(vec![
+            catalog::by_name("ghz_n16").unwrap();
+            6
+        ]));
+        let open = free.drive_to_quiescence().unwrap();
+        assert_eq!(open.outcomes.len(), 6);
+    }
+
+    #[test]
+    fn aging_lets_a_starved_job_jump_the_sjf_queue() {
+        // One 28-qubit QPU: ghz_n25 (25 qubits) and a vqe_n4 (4) fit
+        // individually but never together. The ghz arrives at tick 0
+        // with a wave of seven mice that packs the QPU exactly; two
+        // more seven-mouse waves arrive at ticks 1 and 2 while the
+        // first is running. Each wave drains all at once (identical
+        // local circuits admitted together), and at every drain SJF
+        // hands the freed capacity to the fresher short jobs — the ghz
+        // goes dead last. Aging scales with *how long* a job has
+        // waited, so with a large rate the tick-0 ghz outranks the
+        // tick-1 mice at the first drain and claims it.
+        let cloud = CloudBuilder::new(1).computing_qubits(28).build();
+        let placement = CloudQcPlacement::default();
+        let mouse = catalog::by_name("vqe_n4").unwrap();
+        let mut jobs = vec![(catalog::by_name("ghz_n25").unwrap(), Tick::new(0))];
+        for wave in 0..3u64 {
+            jobs.extend(std::iter::repeat_n((mouse.clone(), Tick::new(wave)), 7));
+        }
+        let w = Workload::trace(jobs);
+        let run = |aging: f64| {
+            let mut svc = Orchestrator::new(&cloud, &placement, &CloudQcScheduler, 2)
+                .with_admission(AdmissionPolicy::ShortestJobFirst)
+                .with_aging_rate(aging)
+                .into_service();
+            svc.submit_workload(&w);
+            svc.drive().unwrap()
+        };
+        let plain = run(0.0);
+        let aged = run(1e6);
+        let ghz_of = |r: &RunReport| r.outcomes.iter().find(|o| o.job == 0).unwrap().clone();
+        assert_eq!(plain.outcomes.len(), 22);
+        assert_eq!(aged.outcomes.len(), 22);
+        assert!(
+            ghz_of(&aged).admitted_at < ghz_of(&plain).admitted_at,
+            "aging must admit the starved job earlier: {:?} vs {:?}",
+            ghz_of(&aged).admitted_at,
+            ghz_of(&plain).admitted_at
+        );
+        assert!(ghz_of(&aged).finished_at < ghz_of(&plain).finished_at);
+    }
+
+    #[test]
+    fn preemption_parks_the_elephant_for_a_critical_mouse() {
+        // Two QPUs with one communication pair each and slow EPR
+        // generation: a deadline-free elephant splits across both and
+        // monopolizes the fabric, then a deadline-carrying mouse lands
+        // mid-flight and must also split. Without preemption the
+        // mouse's remote gates queue behind the elephant's; with it the
+        // elephant's gates are parked until the mouse clears.
+        let cloud = CloudBuilder::new(2)
+            .computing_qubits(16)
+            .communication_qubits(1)
+            .epr_success_prob(0.2)
+            .line_topology()
+            .build();
+        let placement = CloudQcPlacement::default();
+        let elephant = Workload::trace(vec![(catalog::by_name("ghz_n20").unwrap(), Tick::new(0))]);
+        let mouse = Workload::trace(vec![(catalog::by_name("ghz_n12").unwrap(), Tick::new(200))])
+            .with_uniform_sla(1_000_000);
+        let run = |preempt: bool| {
+            let mut svc = Orchestrator::new(&cloud, &placement, &CloudQcScheduler, 9)
+                .with_preemption(preempt)
+                .into_service();
+            svc.submit_workload(&elephant);
+            svc.submit_workload(&mouse);
+            let report = svc.drive().unwrap();
+            let preemptions = svc.report().preemptions;
+            (report, preemptions)
+        };
+        let (plain, none) = run(false);
+        let (preempted, some) = run(true);
+        assert_eq!(none, 0, "preemption off must never suspend");
+        assert!(some > 0, "the elephant was never suspended");
+        assert_eq!(
+            plain.outcomes.len(),
+            2,
+            "both jobs complete without preemption"
+        );
+        assert_eq!(
+            preempted.outcomes.len(),
+            2,
+            "preemption defers, never kills"
+        );
+        let mouse_of = |r: &RunReport| r.outcomes.iter().find(|o| o.job == 1).unwrap().clone();
+        assert!(
+            mouse_of(&preempted).remote_gates > 0,
+            "the mouse must contend for the fabric for the A/B to mean anything"
+        );
+        assert!(
+            mouse_of(&preempted).completion_time < mouse_of(&plain).completion_time,
+            "preemption must speed up the critical mouse: {:?} vs {:?}",
+            mouse_of(&preempted).completion_time,
+            mouse_of(&plain).completion_time
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "in-flight work")]
+    fn epoch_drive_refuses_a_busy_continuous_engine() {
+        let cloud = CloudBuilder::paper_default(4).build();
+        let placement = CloudQcPlacement::default();
+        let mut svc = Service::new(&cloud, &placement, &CloudQcScheduler, 6);
+        svc.submit_workload(&Workload::poisson(&pool(), 5, 2_000.0, 4));
+        let window = svc.drive_for(10).unwrap();
+        assert!(!window.quiescent, "work must still be in flight");
+        svc.submit(catalog::by_name("vqe_n4").unwrap(), Tick::ZERO);
+        let _ = svc.drive();
     }
 }

@@ -321,6 +321,20 @@ impl Workload {
         self
     }
 
+    /// Shifts every arrival (and any deadline) forward by `base`
+    /// ticks. Useful for replaying a workload later on a continuous
+    /// service clock: `w.offset_arrivals(svc.now().as_ticks())` lands
+    /// the first job no earlier than the service's current time.
+    pub fn offset_arrivals(mut self, base: u64) -> Self {
+        for job in &mut self.jobs {
+            job.arrival = Tick::new(job.arrival.as_ticks() + base);
+            if let Some(d) = job.deadline {
+                job.deadline = Some(Tick::new(d.as_ticks() + base));
+            }
+        }
+        self
+    }
+
     /// The jobs, in submission order.
     pub fn jobs(&self) -> &[WorkloadJob] {
         &self.jobs

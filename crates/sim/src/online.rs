@@ -25,6 +25,7 @@ use crate::series::{LatencyBreakdown, MeanBreakdown};
 use crate::time::Tick;
 use rand::rngs::StdRng;
 use rand::RngExt;
+use std::cell::{Cell, RefCell};
 
 /// Welford running aggregates over a stream of samples: constant
 /// memory, numerically stable mean/variance, exact min/max/count.
@@ -127,12 +128,30 @@ impl RunningStat {
 /// assert_eq!(r.len(), 3);
 /// assert_eq!(r.quantile(0.5), Some(1.0));
 /// ```
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct Reservoir {
     capacity: usize,
     seen: u64,
     samples: Vec<f64>,
     rng: StdRng,
+    /// Memoized sorted view of `samples`, rebuilt lazily by
+    /// [`Reservoir::quantile`] and invalidated by every insert, so a
+    /// burst of quantile reads between completions sorts once instead
+    /// of per call.
+    sorted: RefCell<Vec<f64>>,
+    sorted_valid: Cell<bool>,
+}
+
+/// Equality ignores the memoized sorted view — it is a pure function of
+/// `samples`, so two reservoirs differing only in cache warmth are the
+/// same reservoir.
+impl PartialEq for Reservoir {
+    fn eq(&self, other: &Self) -> bool {
+        self.capacity == other.capacity
+            && self.seen == other.seen
+            && self.samples == other.samples
+            && self.rng == other.rng
+    }
 }
 
 impl Reservoir {
@@ -149,6 +168,8 @@ impl Reservoir {
             seen: 0,
             samples: Vec::new(),
             rng: SimRng::new(seed).fork("reservoir").into_std(),
+            sorted: RefCell::new(Vec::new()),
+            sorted_valid: Cell::new(false),
         }
     }
 
@@ -157,6 +178,7 @@ impl Reservoir {
         self.seen += 1;
         if self.samples.len() < self.capacity {
             self.samples.push(x);
+            self.sorted_valid.set(false);
             return;
         }
         // Algorithm R: the i-th item replaces a random slot with
@@ -164,6 +186,7 @@ impl Reservoir {
         let j = self.rng.random_range(0..self.seen);
         if (j as usize) < self.capacity {
             self.samples[j as usize] = x;
+            self.sorted_valid.set(false);
         }
     }
 
@@ -205,8 +228,13 @@ impl Reservoir {
         if self.samples.is_empty() {
             return None;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let mut sorted = self.sorted.borrow_mut();
+        if !self.sorted_valid.get() {
+            sorted.clear();
+            sorted.extend_from_slice(&self.samples);
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.sorted_valid.set(true);
+        }
         Some(percentile(&sorted, q.max(f64::MIN_POSITIVE)))
     }
 }
@@ -230,11 +258,12 @@ impl Reservoir {
 /// let mut r = OnlineReport::new(7);
 /// r.record_completion(Tick::new(200), LatencyBreakdown::new(100, 40, 60), Tick::new(500));
 /// r.record_completion(Tick::new(100), LatencyBreakdown::new(0, 40, 60), Tick::new(800));
-/// r.record_rejection();
+/// r.record_rejection(Tick::new(900));
 /// assert_eq!(r.completed(), 2);
 /// assert_eq!(r.rejected(), 1);
 /// assert!((r.mean_completion_time() - 150.0).abs() < 1e-12);
 /// assert_eq!(r.last_finish(), Tick::new(800));
+/// assert_eq!(r.last_rejection(), Tick::new(900));
 /// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct OnlineReport {
@@ -245,6 +274,7 @@ pub struct OnlineReport {
     reservoir: Reservoir,
     rejected: u64,
     last_finish: Tick,
+    last_rejection: Tick,
 }
 
 impl OnlineReport {
@@ -272,6 +302,7 @@ impl OnlineReport {
             reservoir: Reservoir::new(capacity, seed),
             rejected: 0,
             last_finish: Tick::ZERO,
+            last_rejection: Tick::ZERO,
         }
     }
 
@@ -291,9 +322,12 @@ impl OnlineReport {
         self.last_finish = self.last_finish.max(finished_at);
     }
 
-    /// Counts one rejected job.
-    pub fn record_rejection(&mut self) {
+    /// Counts one job rejected at `at` (on the service's continuous
+    /// lifetime clock, like [`OnlineReport::record_completion`]'s
+    /// `finished_at`).
+    pub fn record_rejection(&mut self, at: Tick) {
         self.rejected += 1;
+        self.last_rejection = self.last_rejection.max(at);
     }
 
     /// Jobs completed so far.
@@ -337,6 +371,12 @@ impl OnlineReport {
     /// The latest completion tick seen (the running makespan).
     pub fn last_finish(&self) -> Tick {
         self.last_finish
+    }
+
+    /// The latest rejection tick seen ([`Tick::ZERO`] before any
+    /// rejection).
+    pub fn last_rejection(&self) -> Tick {
+        self.last_rejection
     }
 
     /// Completed jobs per tick up to the last completion (0 before any
@@ -425,6 +465,31 @@ mod tests {
         // A uniform ramp's sampled median should land well inside the
         // middle half with 32 samples (loose, deterministic bound).
         assert!((1_000.0..9_000.0).contains(&p50), "p50 {p50}");
+    }
+
+    #[test]
+    fn quantile_cache_invalidates_on_insert() {
+        let mut r = Reservoir::new(8, 4);
+        r.record(10.0);
+        assert_eq!(r.quantile(1.0), Some(10.0));
+        // A fresh insert must invalidate the memoized sorted view.
+        r.record(20.0);
+        assert_eq!(r.quantile(1.0), Some(20.0));
+        // And a second read (cache now warm) still agrees.
+        assert_eq!(r.quantile(0.0), Some(10.0));
+        assert_eq!(r.quantile(1.0), Some(20.0));
+    }
+
+    #[test]
+    fn reservoir_equality_ignores_sorted_cache() {
+        let mut a = Reservoir::new(8, 4);
+        let mut b = Reservoir::new(8, 4);
+        for x in [3.0, 1.0, 2.0] {
+            a.record(x);
+            b.record(x);
+        }
+        let _ = a.quantile(0.5); // warm only a's cache
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! The service layer in one demo: a resident `Service` serving traffic
 //! in epochs over a persistent placement cache, streaming metrics
-//! instead of retained outcomes, and the admission-policy matrix over a
-//! multi-tenant, SLA-tagged, heavy-tailed workload.
+//! instead of retained outcomes, the admission-policy matrix over a
+//! multi-tenant, SLA-tagged, heavy-tailed workload, and the continuous
+//! clock — submissions landing on a live executor, SLA preemption
+//! parking an elephant for critical mice, and admission-time load
+//! shedding under a surge.
 //!
 //! ```text
 //! cargo run --release --example service_demo
@@ -10,9 +13,10 @@
 use cloudqc::circuit::generators::{catalog, ghz::ghz};
 use cloudqc::cloud::CloudBuilder;
 use cloudqc::core::placement::CloudQcPlacement;
-use cloudqc::core::runtime::{AdmissionPolicy, Orchestrator};
+use cloudqc::core::runtime::{AdmissionPolicy, LoadShedPolicy, Orchestrator};
 use cloudqc::core::schedule::CloudQcScheduler;
 use cloudqc::core::workload::Workload;
+use cloudqc::sim::Tick;
 
 fn main() {
     let cloud = CloudBuilder::paper_default(42).build();
@@ -118,4 +122,83 @@ fn main() {
          deadline-aware is the only policy allowed to reject: jobs whose\n\
          SLA lapsed while queueing leave instead of rotting in the queue."
     );
+
+    // ── 3. The continuous clock: preemption and load shedding ──────
+    // No epoch resets: the elephant takes the floor, the service pauses
+    // mid-flight on a tick budget, and the critical mice are submitted
+    // onto the *live* executor. With preemption on, admitting each
+    // deadline-carrying mouse parks the elephant's remote gates, so the
+    // mice stop queueing behind its EPR traffic.
+    println!("\n== Continuous clock: SLA preemption over a live executor ==\n");
+    let tight = CloudBuilder::new(2)
+        .computing_qubits(16)
+        .communication_qubits(1)
+        .epr_success_prob(0.2)
+        .line_topology()
+        .build();
+    let elephant = Workload::batch(vec![catalog::by_name("ghz_n20").expect("catalog circuit")]);
+    let mice = Workload::trace((0..4u64).map(|i| {
+        (
+            catalog::by_name("ghz_n12").expect("catalog circuit"),
+            Tick::new(200 + i * 2_500),
+        )
+    }))
+    .with_uniform_sla(1_000_000);
+    println!(
+        "{:>12} {:>12} {:>12} {:>12}",
+        "preemption", "worst mouse", "mean mouse", "suspensions"
+    );
+    for preempt in [false, true] {
+        let mut svc = Orchestrator::new(&tight, &placement, &CloudQcScheduler, 9)
+            .with_preemption(preempt)
+            .into_service();
+        svc.submit_workload(&elephant);
+        let early = svc.drive_for(200).expect("elephant takes the floor");
+        assert!(!early.quiescent, "the elephant is mid-flight");
+        svc.submit_workload(&mice); // lands on the live executor
+        let window = svc.drive_to_quiescence().expect("cloud drains");
+        let mouse_jcts: Vec<u64> = window
+            .outcomes
+            .iter()
+            .filter(|o| o.job >= elephant.len())
+            .map(|o| o.completion_time.as_ticks())
+            .collect();
+        println!(
+            "{:>12} {:>12} {:>12.0} {:>12}",
+            if preempt { "on" } else { "off" },
+            mouse_jcts.iter().max().copied().unwrap_or(0),
+            mouse_jcts.iter().sum::<u64>() as f64 / mouse_jcts.len().max(1) as f64,
+            svc.report().preemptions,
+        );
+    }
+
+    // A surge against the same small cloud, with a queue-depth cap:
+    // arrivals past the cap are turned away at the door with a typed
+    // error instead of inflating everyone's tail latency.
+    println!("\n== Load shedding under a surge ==\n");
+    let surge = Workload::pareto_sizes(ghz, 30, 1.2, 8, 64, 60.0, 33);
+    for cap in [None, Some(LoadShedPolicy::queue_depth(4))] {
+        let mut orch = Orchestrator::new(&small_cloud, &placement, &CloudQcScheduler, 33);
+        if let Some(policy) = cap {
+            orch = orch.with_load_shedding(policy);
+        }
+        let mut svc = orch.into_service();
+        svc.submit_workload(&surge);
+        let window = svc.drive_to_quiescence().expect("surge drains");
+        let online = svc.online();
+        println!(
+            "{:>12}: {:>2} served, {:>2} shed; p95 JCT {:>6.0}",
+            if cap.is_some() {
+                "depth cap 4"
+            } else {
+                "no cap"
+            },
+            window.outcomes.len(),
+            window.rejected.len(),
+            online.quantile(0.95).unwrap_or(0.0),
+        );
+        if let Some((job, err)) = window.rejected.first() {
+            println!("{:>14}first shed: job {job}: {err}", "");
+        }
+    }
 }

@@ -11,7 +11,7 @@ use cloudqc::circuit::generators::catalog;
 use cloudqc::circuit::Circuit;
 use cloudqc::cloud::{Cloud, CloudBuilder, QpuId};
 use cloudqc::core::placement::{CloudQcPlacement, PlacementAlgorithm, RandomPlacement};
-use cloudqc::core::runtime::{AdmissionPolicy, Orchestrator, RunReport};
+use cloudqc::core::runtime::{AdmissionPolicy, LoadShedPolicy, Orchestrator, RunReport};
 use cloudqc::core::schedule::CloudQcScheduler;
 use cloudqc::core::workload::Workload;
 use cloudqc::core::Executor;
@@ -107,6 +107,53 @@ proptest! {
         assert_conserved(&cloud, &report);
         // Every job is accounted for: completed or rejected.
         prop_assert_eq!(report.outcomes.len() + report.rejected.len(), workload.len());
+    }
+
+    /// Preemptive runs conserve both pools and account for every job.
+    /// Deadline-free elephants start first; SLA-critical mice land
+    /// mid-flight, suspending the elephants' remote gates (which must
+    /// return their communication pairs and later reclaim them), with
+    /// admission-time load shedding sometimes rejecting arrivals on
+    /// top. No matter how suspension, resumption, shedding, and
+    /// completion interleave, nothing leaks and no job is lost or
+    /// double-counted.
+    #[test]
+    fn preemptive_runs_conserve_resources(
+        seed in any::<u64>(),
+        mean_gap in 50.0f64..2_000.0,
+        sla in 500u64..20_000,
+        shed_depth in 0usize..6,
+    ) {
+        let cloud = contended_cloud(seed);
+        let placement = CloudQcPlacement::default();
+        let elephants = Workload::batch(vec![
+            catalog::by_name("ghz_n16").unwrap(),
+            catalog::by_name("qft_n13").unwrap(),
+        ]);
+        let pool = circuit_pool(seed);
+        let mice = Workload::poisson(&pool, 5, mean_gap, seed).with_uniform_sla(sla);
+        let mut orch = Orchestrator::new(&cloud, &placement, &CloudQcScheduler, seed)
+            .with_preemption(true);
+        if shed_depth > 0 {
+            orch = orch.with_load_shedding(LoadShedPolicy::queue_depth(shed_depth));
+        }
+        let mut svc = orch.into_service();
+        svc.submit_workload(&elephants);
+        svc.submit_workload(&mice);
+        let report = svc.drive().unwrap();
+        assert_conserved(&cloud, &report);
+        let total = elephants.len() + mice.len();
+        prop_assert_eq!(report.outcomes.len() + report.rejected.len(), total);
+        // Every job appears exactly once across outcomes and rejections.
+        let mut ids: Vec<usize> = report
+            .outcomes
+            .iter()
+            .map(|o| o.job)
+            .chain(report.rejected.iter().map(|r| r.0))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), total);
     }
 
     /// The bare executor's communication pool balances even for random

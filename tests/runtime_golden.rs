@@ -416,6 +416,70 @@ fn two_epoch_service_with_shared_cache_matches_independent_runs() {
 }
 
 #[test]
+fn continuous_clock_over_drained_boundary_matches_epoch_mode() {
+    // The continuous-clock golden: epoch mode is the degenerate case of
+    // the continuous service. Whenever the cloud fully drains between
+    // two workloads, one continuous run over their concatenation (the
+    // second offset to arrive after quiescence) must reproduce two
+    // epoch drives *byte-identically* — same admission instants, same
+    // placements, same EPR rounds, same completion ticks — modulo the
+    // frame shift: continuous records carry lifetime clocks and global
+    // job indices, so epoch 2's records reappear shifted by the
+    // boundary time and the first workload's job count.
+    let (cloud, w1) = contended_setup();
+    let placement = CloudQcPlacement::default();
+    let pool = batch(&["qft_n29", "ghz_n25", "qugan_n39"]);
+    let w2 = Workload::poisson(&pool, 12, 400.0, 29);
+    let shift_back = |mut r: cloudqc::core::runtime::JobRecord, jobs: usize, base: u64| {
+        r.job -= jobs;
+        r.arrived_at = Tick::new(r.arrived_at.as_ticks() - base);
+        r.admitted_at = Tick::new(r.admitted_at.as_ticks() - base);
+        r.finished_at = Tick::new(r.finished_at.as_ticks() - base);
+        r
+    };
+    for seed in [3u64, 7, 42] {
+        let orch = || {
+            Orchestrator::new(&cloud, &placement, &CloudQcScheduler, seed)
+                .with_admission(AdmissionPolicy::Backfill)
+        };
+        // Epoch face: two drives, each a fresh clock-0 era.
+        let mut epochs = orch().into_service();
+        epochs.submit_workload(&w1);
+        let e1 = epochs.drive().expect("epoch 1 completes");
+        epochs.submit_workload(&w2);
+        let e2 = epochs.drive().expect("epoch 2 completes");
+        // Continuous face: same engine, never reset; the second
+        // workload is submitted in lifetime coordinates.
+        let mut cont = orch().into_service();
+        cont.submit_workload(&w1);
+        let c1 = cont.drive_to_quiescence().expect("window 1 completes");
+        assert!(c1.quiescent, "seed {seed}: cloud must drain at boundary");
+        let base = cont.now().as_ticks();
+        cont.submit_workload(&w2.clone().offset_arrivals(base));
+        let c2 = cont.drive_to_quiescence().expect("window 2 completes");
+        // Window 1 shares epoch 1's frame exactly (base 0); epoch
+        // reports sort outcomes by job index, windows by completion.
+        let mut got1 = c1.outcomes.clone();
+        got1.sort_by_key(|r| r.job);
+        assert_eq!(got1, e1.outcomes, "seed {seed}: boundary window");
+        let mut got2: Vec<_> = c2
+            .outcomes
+            .iter()
+            .map(|r| shift_back(r.clone(), w1.len(), base))
+            .collect();
+        got2.sort_by_key(|r| r.job);
+        assert_eq!(got2, e2.outcomes, "seed {seed}: continuous epoch 2");
+        assert!(c1.rejected.is_empty() && c2.rejected.is_empty());
+        assert!(e1.rejected.is_empty() && e2.rejected.is_empty());
+        assert_eq!(
+            cont.now(),
+            epochs.now(),
+            "seed {seed}: both faces park the lifetime clock at the same tick"
+        );
+    }
+}
+
+#[test]
 fn batched_and_unbatched_allocation_are_byte_identical_in_executor() {
     // The executor-level A/B, under the bench's contention profile:
     // scarce pairs, low EPR success, random placements.
