@@ -1,0 +1,99 @@
+//! The deterministic worker-pool A/B — cores vs speedup for the
+//! executor's parallel shard-component rounds.
+//!
+//! Same contended 12-QPU shape as `sharded_front_layer`: 96 randomly
+//! placed jobs spread remote gates over many communication edges, so
+//! most rounds see several QPU-disjoint shard components — the fan-out
+//! [`Executor::with_worker_threads`] evaluates on its scoped pool. The
+//! schedules are byte-identical at every worker count (pinned in
+//! `tests/runtime_golden.rs`), so the cases differ *only* in where the
+//! evaluation runs; `workers_1` is the serial path verbatim.
+//!
+//! Besides the per-case criterion output, the bench prints a
+//! cores-vs-speedup table (min of two timed runs per worker count) so
+//! a single invocation answers "what does this machine buy me". On a
+//! single-core host expect ~1.0× (or slightly below — pool overhead);
+//! the contended shape needs ≥ 4 real cores to show its headroom.
+//!
+//! With `BENCH_JSON=<path>` every case's minimum sample lands in
+//! `<path>` as ms/run — the input of the CI bench-regression gate
+//! (see `bench_gate`). Three cases make the gate's cross-case ratio
+//! normalization available.
+
+use cloudqc_bench::bench_circuit;
+use cloudqc_circuit::Circuit;
+use cloudqc_cloud::CloudBuilder;
+use cloudqc_core::placement::{Placement, PlacementAlgorithm, RandomPlacement};
+use cloudqc_core::schedule::CloudQcScheduler;
+use cloudqc_core::Executor;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn contended_jobs(cloud: &cloudqc_cloud::Cloud) -> Vec<(Circuit, Placement)> {
+    ["qugan_n39", "knn_n67", "adder_n64", "qft_n29"]
+        .iter()
+        .map(|n| bench_circuit(n))
+        .cycle()
+        .take(96)
+        .enumerate()
+        .map(|(i, circuit)| {
+            let p = RandomPlacement
+                .place(&circuit, cloud, &cloud.status(), i as u64)
+                .expect("placement succeeds");
+            (circuit, p)
+        })
+        .collect()
+}
+
+fn bench_parallel_executor(c: &mut Criterion) {
+    let cloud = CloudBuilder::new(12)
+        .computing_qubits(40)
+        .communication_qubits(2)
+        .epr_success_prob(0.2)
+        .ring_topology()
+        .build();
+    let placed = contended_jobs(&cloud);
+    let run = |workers: usize, seed: u64| {
+        let mut exec = Executor::new(&cloud, &CloudQcScheduler, seed).with_worker_threads(workers);
+        for (circuit, p) in black_box(&placed) {
+            exec.add_job(circuit, p);
+        }
+        exec.run_to_completion();
+        exec.now()
+    };
+    let mut group = c.benchmark_group("parallel_executor");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        group.bench_function(format!("workers_{workers}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                run(workers, seed)
+            });
+        });
+    }
+    group.finish();
+
+    // The cores-vs-speedup table: min of two timed runs per count,
+    // normalized to the serial row.
+    let time = |workers: usize| {
+        let mut best = f64::INFINITY;
+        for seed in 1u64..=2 {
+            let start = Instant::now();
+            black_box(run(workers, seed));
+            best = best.min(start.elapsed().as_secs_f64() * 1_000.0);
+        }
+        best
+    };
+    let serial = time(1);
+    println!("\n  cores vs speedup (contended 12-QPU ring, 96 jobs, CloudQC):");
+    println!("  {:>7} {:>10} {:>8}", "workers", "min ms", "speedup");
+    for workers in [1usize, 2, 4] {
+        let ms = if workers == 1 { serial } else { time(workers) };
+        println!("  {workers:>7} {ms:>10.2} {:>7.2}x", serial / ms);
+    }
+}
+
+criterion_group!(benches, bench_parallel_executor);
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! CI bench-regression gate.
 //!
 //! ```text
-//! bench_gate <baseline.json> <current.json> [--threshold 0.20] [--normalize]
+//! bench_gate <baseline.json> <current.json> [--threshold 0.20]
 //! ```
 //!
 //! Both files are the flat `{"case": ms_per_run, ...}` objects the
@@ -11,25 +11,29 @@
 //! only present in the current run are reported but do not gate (they
 //! start gating once the baseline is refreshed).
 //!
-//! `--normalize` divides every current value by the machine-speed
-//! factor (the median `current / baseline` ratio across cases) before
-//! gating, so a runner slower or faster than the machine that
-//! recorded the baseline does not move the verdict — only *relative*
-//! per-case regressions do. Use it in CI, where runner hardware is
-//! unknown; use the absolute mode on the baseline's own machine,
-//! where it additionally catches uniform slowdowns.
+//! Whenever at least `MIN_NORMALIZE_CASES` (3) cases are shared
+//! between baseline and current run, the gate compares *ratios*: every
+//! current value is divided by the machine-speed factor (the median
+//! `current / baseline` ratio across shared cases) before gating, so a
+//! runner slower or faster than the machine that recorded the baseline
+//! does not move the verdict — only per-case relative regressions do.
+//! This is the default because CI runner hardware is unknown; the
+//! trade-off is that a *uniform* slowdown across all cases is absorbed
+//! into the factor (re-run on the baseline's own machine to catch
+//! those).
 //!
-//! Normalization needs at least `MIN_NORMALIZE_CASES` (3) cases shared
-//! between baseline and current run: with fewer, the median ratio *is*
-//! whatever regressed, so any slowdown would normalize itself away to
-//! 1.0 and the gate could never fire. Below the minimum the gate warns
-//! and falls back to the absolute comparison.
+//! With fewer than 3 shared cases the median ratio *is* (or is
+//! dominated by) whatever regressed — any slowdown would normalize
+//! itself away to 1.0 and the gate could never fire — so the gate
+//! warns and compares absolute values instead. The legacy
+//! `--normalize` flag is still accepted (ratio mode is now the
+//! default) so existing invocations keep working.
 
-use cloudqc_bench::results::{compare, parse_results, speed_factor, MIN_NORMALIZE_CASES};
+use cloudqc_bench::results::{gate, parse_results, MIN_NORMALIZE_CASES};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: bench_gate <baseline.json> <current.json> [--threshold 0.20] [--normalize]");
+    eprintln!("usage: bench_gate <baseline.json> <current.json> [--threshold 0.20]");
     ExitCode::from(2)
 }
 
@@ -37,7 +41,6 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut threshold = 0.20f64;
-    let mut normalize = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -51,7 +54,9 @@ fn main() -> ExitCode {
                     return usage();
                 }
             }
-            "--normalize" => normalize = true,
+            // Ratio normalization is the default now; the flag stays
+            // accepted so existing CI invocations keep working.
+            "--normalize" => {}
             other => paths.push(other.to_owned()),
         }
         i += 1;
@@ -64,7 +69,7 @@ fn main() -> ExitCode {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         parse_results(&text).map_err(|e| format!("{path}: {e}"))
     };
-    let (baseline, mut current) = match (load(baseline_path), load(current_path)) {
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
         (Ok(b), Ok(c)) => (b, c),
         (b, c) => {
             for err in [b.err(), c.err()].into_iter().flatten() {
@@ -79,24 +84,19 @@ fn main() -> ExitCode {
         baseline.len(),
         threshold * 100.0
     );
-    if normalize {
-        match speed_factor(&baseline, &current) {
-            Some(factor) => {
-                println!("machine-speed factor {factor:.3} divided out of the current run");
-                for (_, v) in &mut current {
-                    *v /= factor;
-                }
-            }
-            None => {
-                eprintln!(
-                    "warning: fewer than {MIN_NORMALIZE_CASES} cases shared with the \
-                     baseline; a median over so few would absorb the very regressions \
-                     the gate watches for — gating absolute values instead"
-                );
-            }
+    let (verdicts, factor) = gate(&baseline, &current, threshold);
+    match factor {
+        Some(factor) => {
+            println!("machine-speed factor {factor:.3} divided out of the current run");
+        }
+        None => {
+            eprintln!(
+                "warning: fewer than {MIN_NORMALIZE_CASES} cases shared with the \
+                 baseline; a median over so few would absorb the very regressions \
+                 the gate watches for — gating absolute values instead"
+            );
         }
     }
-    let verdicts = compare(&baseline, &current, threshold);
     for v in &verdicts {
         println!("{v}");
     }

@@ -227,6 +227,39 @@ pub fn compare(
         .collect()
 }
 
+/// The gate's whole comparison policy in one call: *ratio mode* —
+/// divide the machine-speed factor ([`speed_factor`]) out of the
+/// current run, then [`compare`] — whenever at least
+/// [`MIN_NORMALIZE_CASES`] shared cases exist, falling back to the
+/// absolute comparison below that. Ratio mode is the default because
+/// the gate typically runs on hardware that did not record the
+/// baseline; the fallback keeps sparse baselines gated rather than
+/// silently normalized into meaninglessness.
+///
+/// Returns the per-case verdicts and the factor that was divided out
+/// (`None` = absolute fallback).
+///
+/// # Panics
+///
+/// Panics if `threshold` is not finite and non-negative (see
+/// [`compare`]).
+pub fn gate(
+    baseline: &[(String, f64)],
+    current: &[(String, f64)],
+    threshold: f64,
+) -> (Vec<CaseVerdict>, Option<f64>) {
+    match speed_factor(baseline, current) {
+        Some(factor) => {
+            let normalized: Vec<(String, f64)> = current
+                .iter()
+                .map(|(case, v)| (case.clone(), v / factor))
+                .collect();
+            (compare(baseline, &normalized, threshold), Some(factor))
+        }
+        None => (compare(baseline, current, threshold), None),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,6 +368,42 @@ mod tests {
         let baseline = cases(&[("a", 100.0), ("b", 50.0), ("c", 10.0)]);
         let current = cases(&[("a", 130.0), ("b", 50.0)]);
         assert_eq!(speed_factor(&baseline, &current), None);
+    }
+
+    #[test]
+    fn gate_defaults_to_ratio_comparison_with_enough_cases() {
+        // A runner 2× slower than the baseline machine, with one case
+        // regressed 4× on top: ratio mode divides the hardware factor
+        // out and flags only the true regression — the absolute
+        // comparison would have failed every case.
+        let baseline = cases(&[("a", 10.0), ("b", 20.0), ("c", 30.0), ("d", 40.0)]);
+        let current = cases(&[("a", 20.0), ("b", 40.0), ("c", 60.0), ("d", 160.0)]);
+        let (verdicts, factor) = gate(&baseline, &current, 0.20);
+        assert_eq!(factor, Some(2.0));
+        let failed: Vec<&str> = verdicts
+            .iter()
+            .filter(|v| v.failed)
+            .map(|v| v.case.as_str())
+            .collect();
+        assert_eq!(failed, vec!["d"]);
+        // A uniformly *faster* runner normalizes to all-ok, no phantom
+        // verdicts in either direction.
+        let faster = cases(&[("a", 5.0), ("b", 10.0), ("c", 15.0), ("d", 20.0)]);
+        let (verdicts, factor) = gate(&baseline, &faster, 0.20);
+        assert_eq!(factor, Some(0.5));
+        assert!(verdicts.iter().all(|v| !v.failed));
+    }
+
+    #[test]
+    fn gate_falls_back_to_absolute_below_three_shared_cases() {
+        // Two shared cases: normalizing would absorb the regression, so
+        // the gate must compare absolute values instead — and fire.
+        let baseline = cases(&[("a", 100.0), ("b", 50.0)]);
+        let current = cases(&[("a", 130.0), ("b", 50.0)]);
+        let (verdicts, factor) = gate(&baseline, &current, 0.20);
+        assert_eq!(factor, None);
+        assert!(verdicts[0].failed);
+        assert!(!verdicts[1].failed);
     }
 
     #[test]

@@ -386,7 +386,45 @@ impl PlacementCache {
         status: &CloudStatus,
         seed: u64,
     ) -> Result<Placement, PlacementError> {
-        let bound = (algorithm.name(), cloud.qpu_count());
+        self.place_with(
+            fingerprint,
+            algorithm.name(),
+            cloud.qpu_count(),
+            status,
+            seed,
+            || algorithm.place(circuit, cloud, status, seed),
+        )
+    }
+
+    /// The lookup/insert core behind [`PlacementCache::place_fingerprinted`],
+    /// with the miss-path computation abstracted into `compute`.
+    ///
+    /// `compute` **must** return exactly what
+    /// `algorithm.place(circuit, cloud, status, seed)` would — the
+    /// cache memoizes its value under that signature. Since `place` is
+    /// a pure function of its arguments, any supplier that replays a
+    /// result computed from the same arguments qualifies: the engine's
+    /// parallel admission pass uses this to feed placements computed
+    /// speculatively on worker threads through the cache, keeping
+    /// hit/miss counters and stored entries byte-identical to the
+    /// serial pass.
+    ///
+    /// `algorithm_name` and `qpu_count` feed the same one-algorithm,
+    /// one-cloud debug binding as the direct entry points.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the algorithm's errors; failures are memoized too.
+    pub fn place_with(
+        &mut self,
+        fingerprint: Fingerprint,
+        algorithm_name: &'static str,
+        qpu_count: usize,
+        status: &CloudStatus,
+        seed: u64,
+        compute: impl FnOnce() -> Result<Placement, PlacementError>,
+    ) -> Result<Placement, PlacementError> {
+        let bound = (algorithm_name, qpu_count);
         debug_assert_eq!(
             *self.bound_to.get_or_insert(bound),
             bound,
@@ -409,7 +447,7 @@ impl PlacementCache {
             }
         }
         self.stats.misses += 1;
-        let result = algorithm.place(circuit, cloud, status, seed);
+        let result = compute();
         self.insert(key, result.clone());
         result
     }

@@ -209,6 +209,7 @@ impl<'a> Orchestrator<'a> {
                 preemption: false,
                 aging_rate: 0.0,
                 load_shed: None,
+                worker_threads: crate::runtime::env_worker_threads(),
                 seed,
             },
         }
@@ -282,6 +283,23 @@ impl<'a> Orchestrator<'a> {
     /// disabling is for A/B comparison.
     pub fn with_sharded_front_layer(mut self, enabled: bool) -> Self {
         self.cfg.sharded_front_layer = enabled;
+        self
+    }
+
+    /// Sets the worker-thread count for the deterministic parallel hot
+    /// path (clamped to ≥ 1; 1 = fully serial). The default is read
+    /// from the `CLOUDQC_THREADS` environment variable (see
+    /// [`crate::runtime::env_worker_threads`]), falling back to 1.
+    ///
+    /// At ≥ 2 threads the executor evaluates QPU-disjoint shard
+    /// components on a scoped worker pool
+    /// ([`crate::exec::Executor::with_worker_threads`]) and the engine
+    /// speculates admission placements for the waiting queue in
+    /// parallel — both k-way-merged back into the exact serial order,
+    /// so seeded schedules are byte-identical at every worker count
+    /// (pinned in `tests/runtime_golden.rs`).
+    pub fn with_worker_threads(mut self, threads: usize) -> Self {
+        self.cfg.worker_threads = threads.max(1);
         self
     }
 

@@ -90,6 +90,10 @@ pub(crate) struct RuntimeConfig<'a> {
     pub(crate) preemption: bool,
     pub(crate) aging_rate: f64,
     pub(crate) load_shed: Option<LoadShedPolicy>,
+    /// Worker threads for the executor's sharded rounds and the
+    /// engine's speculative admission placements (1 = fully serial;
+    /// every count produces byte-identical schedules).
+    pub(crate) worker_threads: usize,
     pub(crate) seed: u64,
 }
 

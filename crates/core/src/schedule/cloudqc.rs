@@ -6,8 +6,8 @@
 //! eventually receives at least one pair.
 
 use super::{
-    allocate_prioritized, allocate_sharded_prioritized, Allocation, PriorityPolicy, RemoteRequest,
-    Scheduler,
+    allocate_prioritized, allocate_sharded_prioritized, Allocation, EmissionOrder, PriorityPolicy,
+    RemoteRequest, Scheduler,
 };
 use rand::rngs::StdRng;
 
@@ -62,6 +62,14 @@ impl Scheduler for CloudQcScheduler {
 
     fn is_pure(&self) -> bool {
         true
+    }
+
+    /// The grantable-heads merge pops the globally best live head each
+    /// time, so the emitted sequence is (priority desc, key asc)-sorted
+    /// — and the redundancy phase only tops up already-emitted
+    /// allocations in place.
+    fn sharded_emission_order(&self) -> Option<EmissionOrder> {
+        Some(EmissionOrder::PriorityDescKeyAsc)
     }
 }
 

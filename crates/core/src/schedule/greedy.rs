@@ -6,8 +6,8 @@
 //! paper finds this has the *worst* job completion time.
 
 use super::{
-    allocate_prioritized, allocate_sharded_prioritized, Allocation, PriorityPolicy, RemoteRequest,
-    Scheduler,
+    allocate_prioritized, allocate_sharded_prioritized, Allocation, EmissionOrder, PriorityPolicy,
+    RemoteRequest, Scheduler,
 };
 use rand::rngs::StdRng;
 
@@ -54,6 +54,12 @@ impl Scheduler for GreedyScheduler {
 
     fn is_pure(&self) -> bool {
         true
+    }
+
+    /// Same grantable-heads merge as CloudQC: emitted in (priority
+    /// desc, key asc) order.
+    fn sharded_emission_order(&self) -> Option<EmissionOrder> {
+        Some(EmissionOrder::PriorityDescKeyAsc)
     }
 }
 

@@ -57,6 +57,29 @@ pub struct Allocation {
     pub pairs: usize,
 }
 
+/// The total order in which a scheduler's sharded entry point emits
+/// its allocations, declared via [`Scheduler::sharded_emission_order`].
+///
+/// The executor's parallel sharded round evaluates independent
+/// shard *components* on worker threads and then k-way merges the
+/// per-component allocation lists back into the exact sequence the
+/// serial pass would have produced — grant order is observable (the
+/// round's events and RNG draws follow it), so byte-identical
+/// schedules require knowing the emission order, not just the grant
+/// set.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum EmissionOrder {
+    /// Allocations come out sorted by (priority descending, key
+    /// ascending) — the grantable-heads merge order of
+    /// [`CloudQcScheduler`] and [`GreedyScheduler`].
+    PriorityDescKeyAsc,
+    /// Allocations come out sorted by key ascending —
+    /// [`AverageScheduler`]'s round-robin order (later round-robin
+    /// cycles only top up allocations granted in the first, key-ordered
+    /// cycle, so the emitted sequence itself stays key-sorted).
+    KeyAsc,
+}
+
 /// A communication-qubit allocation policy.
 ///
 /// Contract: the returned allocations must be *valid* — for every QPU,
@@ -64,7 +87,12 @@ pub struct Allocation {
 /// `available[qpu]`; every allocation is ≥ 1 pair and references a
 /// request from `requests`. [`validate_allocations`] checks this and
 /// the executor enforces it in debug builds.
-pub trait Scheduler {
+///
+/// `Sync` is a supertrait: the executor's parallel sharded round hands
+/// the same `&dyn Scheduler` to several worker threads at once. Every
+/// scheduler here is a stateless (or parameter-only) struct, so the
+/// bound is free.
+pub trait Scheduler: Sync {
     /// Short human-readable name (used in experiment tables).
     fn name(&self) -> &'static str;
 
@@ -118,6 +146,25 @@ pub trait Scheduler {
     ) -> Vec<Allocation> {
         let flat: Vec<RemoteRequest> = shards.iter().flat_map(|s| s.iter().copied()).collect();
         self.allocate(&flat, available, rng)
+    }
+
+    /// The order [`Scheduler::allocate_sharded`] emits allocations in,
+    /// or `None` (the default) when no total order is declared.
+    ///
+    /// Declaring an order unlocks the executor's *parallel* sharded
+    /// round: shard components that share no QPU cannot affect each
+    /// other's grants, so workers evaluate them concurrently against
+    /// the same capacity snapshot and the executor merges the
+    /// per-component outputs back into this order — reproducing the
+    /// serial emission sequence exactly. Requirements for declaring:
+    /// the scheduler is pure ([`Scheduler::is_pure`]), its sharded
+    /// allocations over any input come out sorted by the declared
+    /// order, and its grants to a set of requests depend only on the
+    /// requests and capacities of the QPUs that set touches.
+    /// Schedulers that return `None` simply keep the serial path at
+    /// any worker count.
+    fn sharded_emission_order(&self) -> Option<EmissionOrder> {
+        None
     }
 }
 

@@ -75,9 +75,7 @@ fn main() {
                 batch_ticks += report.event_batches.ticks();
                 batch_events += report.event_batches.events();
                 batch_max = batch_max.max(report.event_batches.max());
-                alloc.rounds += report.allocation.rounds;
-                alloc.shards_visited += report.allocation.shards_visited;
-                alloc.requests_scanned += report.allocation.requests_scanned;
+                alloc.merge(report.allocation);
             }
             let jct = Summary::of(&jcts).expect("non-empty");
             let delay = Summary::of(&delays).expect("non-empty");
@@ -108,6 +106,10 @@ fn main() {
     }
     t.print();
     println!("\nShorter inter-arrival = heavier load: queueing delay should dominate JCT\nas the cloud saturates (EPR wait stays roughly constant per job).\n\"cache hit%\" is the placement cache's hit rate over all admission\nattempts; \"batch mean/max\" is the executor's same-tick event batch\nsize (events drained per allocation round); \"scan/round\" is the mean\nfront-layer requests the sharded scheduler actually scanned per\nallocation round (dirty shards only).");
+    println!(
+        "\nWorker pool: {} worker(s) (set CLOUDQC_THREADS to change). The schedules\nabove are byte-identical at every worker count; the pool only moves\nwhere shard components are evaluated.",
+        cloudqc_core::runtime::env_worker_threads()
+    );
 
     service_mode(&pool, jobs_n, args.seed);
     continuous_mode(&pool, jobs_n, args.seed);
@@ -138,6 +140,9 @@ fn service_mode(pool: &[cloudqc_circuit::Circuit], jobs_n: usize, seed: u64) {
         "misses".to_string(),
         "evictions".to_string(),
         "scan/round".to_string(),
+        "workers".to_string(),
+        "par rounds%".to_string(),
+        "spec place".to_string(),
     ]);
     let mut first_jct = None;
     for epoch in 1..=EPOCHS {
@@ -158,12 +163,15 @@ fn service_mode(pool: &[cloudqc_circuit::Circuit], jobs_n: usize, seed: u64) {
             cache.misses.to_string(),
             cache.evictions.to_string(),
             format!("{:.2}", report.allocation.mean_scan()),
+            report.allocation.workers.to_string(),
+            format!("{:.0}%", 100.0 * report.allocation.parallel_share()),
+            report.allocation.speculative_placements.to_string(),
         ]);
     }
     t.print();
     let total = svc.report();
     println!(
-        "\nLifetime: {} epochs, {} jobs completed, {} rejected; cache {} hits / {} misses / {} evictions ({} entries resident); allocation {} rounds, {} shards visited, {} requests scanned; online mean JCT {}, p95 {}, throughput {:.5} jobs/tick.",
+        "\nLifetime: {} epochs, {} jobs completed, {} rejected; cache {} hits / {} misses / {} evictions ({} entries resident); allocation {} rounds, {} shards visited, {} requests scanned; {} worker(s): {} parallel rounds over {} components, {} admission passes speculated {} placements; online mean JCT {}, p95 {}, throughput {:.5} jobs/tick.",
         total.epochs,
         total.completed,
         total.rejected,
@@ -174,6 +182,11 @@ fn service_mode(pool: &[cloudqc_circuit::Circuit], jobs_n: usize, seed: u64) {
         total.allocation.rounds,
         total.allocation.shards_visited,
         total.allocation.requests_scanned,
+        total.allocation.workers,
+        total.allocation.parallel_rounds,
+        total.allocation.parallel_components,
+        total.allocation.parallel_admission_passes,
+        total.allocation.speculative_placements,
         fmt_num(total.online.mean_completion_time()),
         fmt_num(total.online.quantile(0.95).unwrap_or(0.0)),
         total.online.throughput_per_tick(),
@@ -207,10 +220,14 @@ fn continuous_mode(pool: &[cloudqc_circuit::Circuit], jobs_n: usize, seed: u64) 
         "in-flight".to_string(),
         "p50 JCT".to_string(),
         "p99 JCT".to_string(),
+        "workers".to_string(),
+        "par rounds".to_string(),
     ]);
+    let mut seen_alloc = cloudqc_core::AllocStats::default();
     for window in 1.. {
         let w = svc.drive_for(WINDOW).expect("window completes");
         let online = svc.online();
+        let alloc = svc.report().allocation;
         t.row(vec![
             window.to_string(),
             svc.now().as_ticks().to_string(),
@@ -219,7 +236,10 @@ fn continuous_mode(pool: &[cloudqc_circuit::Circuit], jobs_n: usize, seed: u64) 
             svc.in_flight().to_string(),
             fmt_num(online.quantile(0.5).unwrap_or(0.0)),
             fmt_num(online.quantile(0.99).unwrap_or(0.0)),
+            alloc.workers.to_string(),
+            (alloc.parallel_rounds - seen_alloc.parallel_rounds).to_string(),
         ]);
+        seen_alloc = alloc;
         if w.quiescent {
             break;
         }
@@ -227,8 +247,11 @@ fn continuous_mode(pool: &[cloudqc_circuit::Circuit], jobs_n: usize, seed: u64) 
     t.print();
     let total = svc.report();
     println!(
-        "\nContinuous lifetime: {} completed on one uninterrupted clock; online mean JCT {}, p99 {}.",
+        "\nContinuous lifetime: {} completed on one uninterrupted clock; {} worker(s), {} parallel rounds, {} speculative placements; online mean JCT {}, p99 {}.",
         total.completed,
+        total.allocation.workers,
+        total.allocation.parallel_rounds,
+        total.allocation.speculative_placements,
         fmt_num(total.online.mean_completion_time()),
         fmt_num(total.online.quantile(0.99).unwrap_or(0.0)),
     );

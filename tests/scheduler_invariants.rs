@@ -9,7 +9,7 @@
 //! 2. A property test hammers each policy directly with arbitrary
 //!    request sets and availability vectors.
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use cloudqc::circuit::generators::catalog;
 use cloudqc::cloud::{CloudBuilder, QpuId};
@@ -35,16 +35,16 @@ fn schedulers() -> Vec<Box<dyn Scheduler>> {
 /// Delegates to `inner`, validating every round's allocations.
 struct ValidatingScheduler<'a> {
     inner: &'a dyn Scheduler,
-    rounds: Cell<usize>,
-    contended_rounds: Cell<usize>,
+    rounds: AtomicUsize,
+    contended_rounds: AtomicUsize,
 }
 
 impl<'a> ValidatingScheduler<'a> {
     fn new(inner: &'a dyn Scheduler) -> Self {
         ValidatingScheduler {
             inner,
-            rounds: Cell::new(0),
-            contended_rounds: Cell::new(0),
+            rounds: AtomicUsize::new(0),
+            contended_rounds: AtomicUsize::new(0),
         }
     }
 }
@@ -65,11 +65,11 @@ impl Scheduler for ValidatingScheduler<'_> {
             panic!(
                 "{} violated the allocation contract in round {}: {}",
                 self.inner.name(),
-                self.rounds.get(),
+                self.rounds.load(Ordering::Relaxed),
                 violation
             );
         }
-        self.rounds.set(self.rounds.get() + 1);
+        self.rounds.fetch_add(1, Ordering::Relaxed);
         // A round is contended when demand (one pair per request
         // endpoint, at minimum) could exceed some QPU's free budget.
         let mut wanted = vec![0usize; available.len()];
@@ -78,7 +78,7 @@ impl Scheduler for ValidatingScheduler<'_> {
             wanted[r.b.index()] += 1;
         }
         if wanted.iter().zip(available).any(|(w, a)| w > a) {
-            self.contended_rounds.set(self.contended_rounds.get() + 1);
+            self.contended_rounds.fetch_add(1, Ordering::Relaxed);
         }
         allocations
     }
@@ -111,12 +111,12 @@ fn no_scheduler_oversubscribes_in_a_contended_multi_tenant_run() {
         .expect("batch fits");
         assert_eq!(run.outcomes.len(), batch.len(), "{}", sched.name());
         assert!(
-            validating.rounds.get() > 0,
+            validating.rounds.load(Ordering::Relaxed) > 0,
             "{}: run never reached the scheduler",
             sched.name()
         );
         assert!(
-            validating.contended_rounds.get() > 0,
+            validating.contended_rounds.load(Ordering::Relaxed) > 0,
             "{}: run was never contended — test lost its teeth",
             sched.name()
         );

@@ -1,0 +1,299 @@
+//! Offline stand-in for the `scoped_threadpool` crate (the build
+//! environment has no crates.io access — see the workspace manifest).
+//!
+//! The subset CloudQC uses:
+//!
+//! * [`Pool::new`] / [`Pool::thread_count`]
+//! * [`Pool::scoped`] with [`Scope::execute`]
+//!
+//! Workers are spawned once and parked on a condvar between scopes, so
+//! a scope costs two mutex round-trips per task rather than a thread
+//! spawn — the executor opens one scope per allocation round, at
+//! microsecond scale, where `thread::spawn` (tens of microseconds per
+//! worker) would dwarf the work being parallelized.
+//!
+//! Closures may borrow from the enclosing stack frame: [`Pool::scoped`]
+//! joins every submitted task before it returns (also on unwind), so no
+//! task can outlive the borrows it captures. A panicking task poisons
+//! the scope and the panic payload is re-raised from [`Pool::scoped`]
+//! on the caller's thread after the remaining tasks drain.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A task with its borrow lifetime erased. Safety: [`Pool::scoped`]
+/// joins all tasks before the borrows expire (see [`Scope`]).
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled when a task is queued or the pool shuts down.
+    work_ready: Condvar,
+    /// Signalled when the in-flight count returns to zero.
+    all_done: Condvar,
+}
+
+struct State {
+    queue: VecDeque<Task>,
+    /// Tasks queued or running in the current scope.
+    in_flight: usize,
+    /// First panic payload captured from a worker this scope.
+    panic: Option<Box<dyn Any + Send + 'static>>,
+    shutdown: bool,
+}
+
+/// A fixed-size pool of persistent worker threads supporting scoped
+/// (stack-borrowing) tasks.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawns `threads` parked workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero — a zero-width pool could never run
+    /// a task and `scoped` would deadlock on the first `execute`.
+    pub fn new(threads: u32) -> Pool {
+        assert!(
+            threads > 0,
+            "a scoped thread pool needs at least one thread"
+        );
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                in_flight: 0,
+                panic: None,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            all_done: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("scoped-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a pool worker thread")
+            })
+            .collect();
+        Pool { shared, workers }
+    }
+
+    /// The number of worker threads.
+    pub fn thread_count(&self) -> u32 {
+        self.workers.len() as u32
+    }
+
+    /// Runs `f` with a [`Scope`] on which tasks borrowing the current
+    /// stack frame can be submitted. Every submitted task completes
+    /// before `scoped` returns — including when `f` itself unwinds —
+    /// so the borrows the tasks capture outlive them.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic raised by a submitted task (after all
+    /// tasks have drained), or the panic of `f` itself.
+    pub fn scoped<'pool, 'scope, F, R>(&'pool mut self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'pool, 'scope>) -> R,
+    {
+        let scope = Scope {
+            pool: self,
+            _marker: PhantomData,
+        };
+        // Join even when `f` unwinds: tasks already queued still borrow
+        // the caller's frame and must finish before it unwinds away.
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        let task_panic = scope.join_all();
+        match result {
+            Ok(value) => {
+                if let Some(payload) = task_panic {
+                    resume_unwind(payload);
+                }
+                value
+            }
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool state lock");
+            state.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            // Worker threads only panic via catch_unwind leaks, which
+            // the loop prevents; a join error here is unrecoverable.
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let task = {
+            let mut state = shared.state.lock().expect("pool state lock");
+            loop {
+                if let Some(task) = state.queue.pop_front() {
+                    break task;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.work_ready.wait(state).expect("pool state lock");
+            }
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(task));
+        let mut state = shared.state.lock().expect("pool state lock");
+        if let Err(payload) = outcome {
+            state.panic.get_or_insert(payload);
+        }
+        state.in_flight -= 1;
+        if state.in_flight == 0 {
+            shared.all_done.notify_all();
+        }
+    }
+}
+
+/// Submission handle for one [`Pool::scoped`] call. Tasks submitted
+/// through it may borrow anything alive for `'scope`.
+pub struct Scope<'pool, 'scope> {
+    pool: &'pool Pool,
+    /// Invariant over `'scope`, so the compiler cannot shrink the
+    /// borrows captured by submitted tasks below the scope's own
+    /// lifetime.
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'pool, 'scope> Scope<'pool, 'scope> {
+    /// Queues `f` on the pool. It runs on some worker before the
+    /// enclosing [`Pool::scoped`] returns.
+    pub fn execute<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(f);
+        // SAFETY: the only way to obtain a `Scope` is inside
+        // `Pool::scoped`, which joins every submitted task (even on
+        // unwind) before returning — so the task cannot run after
+        // `'scope` ends, and erasing the lifetime to `'static` never
+        // lets a borrow dangle.
+        let task: Task = unsafe { std::mem::transmute(task) };
+        let mut state = self.pool.shared.state.lock().expect("pool state lock");
+        state.in_flight += 1;
+        state.queue.push_back(task);
+        drop(state);
+        self.pool.shared.work_ready.notify_one();
+    }
+
+    /// Blocks until every task submitted on this scope has finished,
+    /// returning the first captured panic payload (if any).
+    fn join_all(&self) -> Option<Box<dyn Any + Send + 'static>> {
+        let mut state = self.pool.shared.state.lock().expect("pool state lock");
+        while state.in_flight > 0 {
+            state = self
+                .pool
+                .shared
+                .all_done
+                .wait(state)
+                .expect("pool state lock");
+        }
+        state.panic.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_task_with_stack_borrows() {
+        let mut pool = Pool::new(4);
+        assert_eq!(pool.thread_count(), 4);
+        let mut slots = vec![0usize; 64];
+        pool.scoped(|scope| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                scope.execute(move || *slot = i + 1);
+            }
+        });
+        assert!(slots.iter().enumerate().all(|(i, &v)| v == i + 1));
+    }
+
+    #[test]
+    fn pool_is_reusable_across_scopes() {
+        let mut pool = Pool::new(2);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..10 {
+            pool.scoped(|scope| {
+                for _ in 0..8 {
+                    scope.execute(|| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 80);
+    }
+
+    #[test]
+    fn scoped_returns_the_closure_value_after_joining() {
+        let mut pool = Pool::new(3);
+        let total = AtomicUsize::new(0);
+        let sum = pool.scoped(|scope| {
+            for i in 0..100usize {
+                let total = &total;
+                scope.execute(move || {
+                    total.fetch_add(i, Ordering::Relaxed);
+                });
+            }
+            42
+        });
+        assert_eq!(sum, 42);
+        // All tasks joined before scoped returned.
+        assert_eq!(total.load(Ordering::Relaxed), (0..100).sum::<usize>());
+    }
+
+    #[test]
+    fn task_panic_propagates_after_the_scope_drains() {
+        let mut pool = Pool::new(2);
+        let ran = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scoped(|scope| {
+                scope.execute(|| panic!("boom"));
+                for _ in 0..4 {
+                    scope.execute(|| {
+                        ran.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err(), "task panic must surface to the caller");
+        // The pool survives a poisoned scope and keeps working.
+        assert_eq!(ran.load(Ordering::Relaxed), 4);
+        let ok = AtomicUsize::new(0);
+        pool.scoped(|scope| {
+            scope.execute(|| {
+                ok.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_is_rejected() {
+        let _ = Pool::new(0);
+    }
+}
