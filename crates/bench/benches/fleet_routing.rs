@@ -1,0 +1,179 @@
+//! Fleet routing under a skewed two-tenant stream.
+//!
+//! Two equal-capacity paper-shaped regions behind one `Fleet`; tenant 0
+//! hammers one hot circuit shape three times as often as tenant 1 sends
+//! another. The arms price the routing policies end to end — probe
+//! cost, cache heat, and the resulting schedules:
+//!
+//! * `fleet_of_one` — the facade over a single backend: the golden
+//!   identity says the schedule is byte-identical to the bare service,
+//!   so this arm is the pure federation overhead.
+//! * `utilization_balanced` — shape-blind least-loaded routing.
+//! * `tenant_affinity` — cache-hot tenant homing.
+//! * `cheapest_placement` — speculative placement probes through the
+//!   backend caches.
+//! * `random` — the seeded baseline the affinity policy must beat.
+//! * `failover_drain` — fail the busiest backend mid-stream, drain it
+//!   through the preemption machinery, replay on the survivor, recover.
+//!
+//! Before timing, the harness asserts the claim the bench exists to
+//! defend: under this skew, tenant affinity's merged cache hit-rate
+//! must *beat* random routing's.
+//!
+//! With `BENCH_JSON=<path>` in the environment every case's minimum
+//! sample lands in `<path>` as ms/run — the input of the CI
+//! bench-regression gate (see `bench_gate`).
+
+use cloudqc_bench::bench_circuit;
+use cloudqc_cloud::{Cloud, CloudBuilder};
+use cloudqc_core::placement::CloudQcPlacement;
+use cloudqc_core::runtime::{
+    CheapestPlacement, Fleet, FleetBuilder, RandomRouting, RoutingPolicy, ServiceBuilder,
+    TenantAffinity, UtilizationBalanced,
+};
+use cloudqc_core::schedule::CloudQcScheduler;
+use cloudqc_core::workload::WorkloadJob;
+use cloudqc_sim::Tick;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const JOBS: u64 = 32;
+
+/// The skewed stream: tenant 0 sends the hot shape 3:1 over tenant 1's.
+fn submit_skewed(fleet: &mut Fleet) {
+    for i in 0..JOBS {
+        let (tenant, shape) = if i % 4 == 3 {
+            (1, "ghz_n40")
+        } else {
+            (0, "qft_n29")
+        };
+        let mut job = WorkloadJob::new(bench_circuit(shape), Tick::new(i * 1_500));
+        job.tenant = tenant;
+        fleet.submit_job(job);
+    }
+}
+
+fn regions() -> (Cloud, Cloud) {
+    (
+        CloudBuilder::paper_default(11).build(),
+        CloudBuilder::paper_default(12).build(),
+    )
+}
+
+/// One federated run; returns (completed, merged cache hit-rate).
+fn run_fleet(
+    regions: &(Cloud, Cloud),
+    placement: &CloudQcPlacement,
+    policy: Box<dyn RoutingPolicy>,
+    seed: u64,
+) -> (u64, f64) {
+    let mut fleet = FleetBuilder::new()
+        .backend(ServiceBuilder::new(
+            &regions.0,
+            placement,
+            &CloudQcScheduler,
+            seed,
+        ))
+        .backend(ServiceBuilder::new(
+            &regions.1,
+            placement,
+            &CloudQcScheduler,
+            seed,
+        ))
+        .boxed_policy(policy)
+        .build();
+    submit_skewed(&mut fleet);
+    fleet.drive_to_quiescence().expect("stream drains");
+    let report = fleet.report();
+    assert_eq!(report.completed + report.rejected, JOBS, "conservation");
+    (report.completed, report.placement_cache.hit_rate())
+}
+
+fn bench_fleet_routing(c: &mut Criterion) {
+    let regions = regions();
+    let placement = CloudQcPlacement::default();
+
+    // The claim this bench defends: cache-hot tenant homing must beat
+    // seeded random routing on the merged placement-cache hit rate.
+    let (_, affinity) = run_fleet(&regions, &placement, Box::new(TenantAffinity::new()), 9);
+    let (_, random) = run_fleet(&regions, &placement, Box::new(RandomRouting::new(9)), 9);
+    assert!(
+        affinity > random,
+        "tenant affinity must beat random routing on cache hit-rate: {affinity:.3} vs {random:.3}"
+    );
+    println!(
+        "merged cache hit-rate: {:.0}% tenant-affinity vs {:.0}% random",
+        100.0 * affinity,
+        100.0 * random
+    );
+
+    let mut group = c.benchmark_group("fleet_routing");
+    group.sample_size(10);
+    group.bench_function("fleet_of_one", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let mut fleet = FleetBuilder::new()
+                .backend(ServiceBuilder::new(
+                    &regions.0,
+                    &placement,
+                    &CloudQcScheduler,
+                    seed,
+                ))
+                .build();
+            submit_skewed(&mut fleet);
+            black_box(fleet.drive_to_quiescence().expect("stream drains"))
+                .outcomes
+                .len()
+        });
+    });
+    type PolicyArm = (&'static str, fn() -> Box<dyn RoutingPolicy>);
+    let arms: [PolicyArm; 4] = [
+        ("utilization_balanced", || Box::new(UtilizationBalanced)),
+        ("tenant_affinity", || Box::new(TenantAffinity::new())),
+        ("cheapest_placement", || Box::new(CheapestPlacement)),
+        ("random", || Box::new(RandomRouting::new(9))),
+    ];
+    for (name, make_policy) in arms {
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(run_fleet(&regions, &placement, make_policy(), seed)).0
+            });
+        });
+    }
+    group.bench_function("failover_drain", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let mut fleet = FleetBuilder::new()
+                .backend(ServiceBuilder::new(
+                    &regions.0,
+                    &placement,
+                    &CloudQcScheduler,
+                    seed,
+                ))
+                .backend(ServiceBuilder::new(
+                    &regions.1,
+                    &placement,
+                    &CloudQcScheduler,
+                    seed,
+                ))
+                .build();
+            submit_skewed(&mut fleet);
+            fleet.drive_for(6_000).expect("fleet warms up");
+            fleet.fail_backend(0);
+            fleet.drive_for(6_000).expect("survivor carries the load");
+            fleet.recover_backend(0);
+            fleet.drive_to_quiescence().expect("fleet drains");
+            let report = fleet.report();
+            assert_eq!(report.completed + report.rejected, JOBS, "conservation");
+            black_box(report.completed)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_routing);
+criterion_main!(benches);

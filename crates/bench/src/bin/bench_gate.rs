@@ -29,7 +29,7 @@
 //! `--normalize` flag is still accepted (ratio mode is now the
 //! default) so existing invocations keep working.
 
-use cloudqc_bench::results::{gate, parse_results, MIN_NORMALIZE_CASES};
+use cloudqc_bench::results::{gate, parse_results, worker_count, MIN_NORMALIZE_CASES};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -78,6 +78,29 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    // Multi-worker cases timed on a host with fewer cores measure the
+    // worker pool's coordination overhead, not any speedup. The gate
+    // still runs — the ratio normalization absorbs a uniformly starved
+    // run — but the numbers must not be trusted as parallel-speedup
+    // evidence or re-recorded as a baseline from this host (see
+    // README.md, "Re-recording baselines").
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let starved: Vec<&str> = current
+        .iter()
+        .filter(|(case, _)| worker_count(case).is_some_and(|w| w > cores))
+        .map(|(case, _)| case.as_str())
+        .collect();
+    if !starved.is_empty() {
+        eprintln!(
+            "warning: host has {cores} core(s) but these cases configured more \
+             workers: {} — their timings are pool overhead, not parallel \
+             speedup; do not re-record baselines from this host",
+            starved.join(", ")
+        );
+    }
 
     println!(
         "bench gate: {} baseline case(s), threshold +{:.0}%",

@@ -87,6 +87,31 @@ fn snippet(s: &str) -> String {
     s.chars().take(20).collect()
 }
 
+/// The worker count a benchmark case claims to exercise, parsed from a
+/// `workers_<n>` segment in its id (the convention the parallel benches
+/// use). `None` for cases that do not sweep workers.
+///
+/// The gate uses this to call out a silent lie in the numbers: a
+/// `workers_4` case timed on a single-core host measures the worker
+/// pool's coordination overhead, not any speedup, and must not be
+/// compared against — or recorded as — a multi-core baseline.
+///
+/// # Example
+///
+/// ```
+/// use cloudqc_bench::results::worker_count;
+///
+/// assert_eq!(worker_count("parallel_executor/workers_4"), Some(4));
+/// assert_eq!(worker_count("fleet_routing/random"), None);
+/// ```
+pub fn worker_count(case: &str) -> Option<usize> {
+    let (_, tail) = case.rsplit_once("workers_")?;
+    let digits: &str = &tail[..tail
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(tail.len())];
+    digits.parse().ok()
+}
+
 /// Minimum shared cases for [`speed_factor`] to produce a
 /// machine-speed estimate.
 ///
@@ -404,6 +429,15 @@ mod tests {
         assert_eq!(factor, None);
         assert!(verdicts[0].failed);
         assert!(!verdicts[1].failed);
+    }
+
+    #[test]
+    fn worker_count_parses_the_sweep_convention() {
+        assert_eq!(worker_count("parallel_executor/workers_1"), Some(1));
+        assert_eq!(worker_count("parallel_executor/workers_16"), Some(16));
+        assert_eq!(worker_count("g/workers_2_hot"), Some(2));
+        assert_eq!(worker_count("fleet_routing/tenant_affinity"), None);
+        assert_eq!(worker_count("g/workers_"), None);
     }
 
     #[test]

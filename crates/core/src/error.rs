@@ -23,6 +23,23 @@ pub enum PlacementError {
     Resource(ResourceError),
 }
 
+impl PlacementError {
+    /// Short stable label of the variant, mirroring
+    /// [`ExecError::kind_name`]: the string vocabulary experiment
+    /// tables and routing telemetry key on. Both enums are
+    /// `#[non_exhaustive]`, so later PRs can add variants (e.g. new
+    /// routing errors) without breaking downstream matches — matching
+    /// on `kind_name` strings instead of variants is the
+    /// forward-compatible spelling.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            PlacementError::InsufficientCapacity { .. } => "insufficient-capacity",
+            PlacementError::NoFeasiblePlacement => "no-feasible-placement",
+            PlacementError::Resource(_) => "resource",
+        }
+    }
+}
+
 impl fmt::Display for PlacementError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -195,10 +212,49 @@ mod tests {
     }
 
     #[test]
+    fn placement_error_kind_names_are_distinct() {
+        // Exhaustiveness check: this match has no wildcard arm, so
+        // adding a PlacementError variant fails compilation here until
+        // the new variant gets a kind name (the enum's #[non_exhaustive]
+        // only shields *downstream* crates, not this one).
+        let kind = |e: &PlacementError| match e {
+            PlacementError::InsufficientCapacity { .. }
+            | PlacementError::NoFeasiblePlacement
+            | PlacementError::Resource(_) => e.kind_name(),
+        };
+        let kinds = [
+            kind(&PlacementError::InsufficientCapacity {
+                required: 10,
+                available: 2,
+            }),
+            kind(&PlacementError::NoFeasiblePlacement),
+            kind(&PlacementError::Resource(ResourceError::Insufficient {
+                qpu: QpuId::new(0),
+                requested: 5,
+                available: 2,
+            })),
+        ];
+        assert_eq!(
+            kinds.len(),
+            kinds.iter().collect::<std::collections::HashSet<_>>().len()
+        );
+    }
+
+    #[test]
     fn exec_error_kind_names_are_distinct() {
         let (a, b) = (QpuId::new(0), QpuId::new(3));
+        // No-wildcard match: a new ExecError variant fails compilation
+        // here until it gets a kind name (see the PlacementError twin).
+        let kind = |e: &ExecError| match e {
+            ExecError::NoCommQubits { .. }
+            | ExecError::NoRoute { .. }
+            | ExecError::StationWithoutCommQubits { .. }
+            | ExecError::SlaExpired { .. }
+            | ExecError::LoadShed { .. }
+            | ExecError::Unplaceable(_) => e.kind_name(),
+        };
         let kinds = [
-            ExecError::NoCommQubits { a, b }.kind_name(),
+            kind(&ExecError::NoCommQubits { a, b }),
             ExecError::NoRoute { a, b }.kind_name(),
             ExecError::StationWithoutCommQubits {
                 station: QpuId::new(1),

@@ -94,6 +94,15 @@ impl CacheStats {
             evictions: self.evictions - earlier.evictions,
         }
     }
+
+    /// Sums another cache's counters into this one — how a fleet
+    /// reports federation-wide cache behaviour over its per-backend
+    /// caches.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+    }
 }
 
 #[derive(Clone, PartialEq, Eq, Hash)]

@@ -1,0 +1,310 @@
+//! The builder-first construction path for the runtime.
+//!
+//! Configuration knobs accreted on [`Orchestrator`] one `with_*` method
+//! at a time over several PRs; with federation the sprawl became an API
+//! problem — a [`crate::runtime::Fleet`] needs a *per-backend*
+//! configuration value it can hold, pass around, and build services
+//! from, not a fluent surface glued to one struct. [`ServiceBuilder`]
+//! is that value: one typed, documented home for every knob, producing
+//! either a resident [`Service`] ([`ServiceBuilder::build`]) or a
+//! one-shot [`Orchestrator`] ([`ServiceBuilder::build_orchestrator`]).
+//!
+//! The old `Orchestrator::with_*` methods survive as thin delegating
+//! wrappers (hidden from the docs) so existing code and goldens compile
+//! unchanged; new code should spell configuration through this builder:
+//!
+//! ```
+//! use cloudqc_cloud::CloudBuilder;
+//! use cloudqc_core::placement::CloudQcPlacement;
+//! use cloudqc_core::runtime::{AdmissionPolicy, ServiceBuilder};
+//! use cloudqc_core::schedule::CloudQcScheduler;
+//!
+//! let cloud = CloudBuilder::paper_default(1).build();
+//! let placement = CloudQcPlacement::default();
+//! let service = ServiceBuilder::new(&cloud, &placement, &CloudQcScheduler, 7)
+//!     .admission(AdmissionPolicy::ShortestJobFirst)
+//!     .cache_quantum(2)
+//!     .preemption(true)
+//!     .build();
+//! assert_eq!(service.pending(), 0);
+//! ```
+
+use crate::placement::{PlacementAlgorithm, PlacementCache};
+use crate::runtime::orchestrator::Orchestrator;
+use crate::runtime::service::{RuntimeConfig, Service};
+use crate::runtime::{AdmissionPolicy, LoadShedPolicy};
+use crate::schedule::Scheduler;
+use cloudqc_cloud::Cloud;
+
+/// Typed construction of one runtime configuration: every knob the
+/// epoch, continuous, and fleet faces share, with the same defaults as
+/// [`Orchestrator::new`] (priority-aware backfill admission, placement
+/// cache on with the exact signature, batched allocation, sharded
+/// front layer, fingerprint seeding; preemption, aging, and load
+/// shedding off; worker threads from `CLOUDQC_THREADS`).
+///
+/// Terminal calls: [`ServiceBuilder::build`] for a resident
+/// [`Service`], [`ServiceBuilder::build_orchestrator`] for the one-shot
+/// wrapper, or hand the builder to
+/// [`crate::runtime::FleetBuilder::backend`] to make it one backend of
+/// a federated fleet.
+pub struct ServiceBuilder<'a> {
+    cfg: RuntimeConfig<'a>,
+}
+
+impl<'a> ServiceBuilder<'a> {
+    /// A configuration over one cloud, placement algorithm, and network
+    /// scheduler, with the default knob settings.
+    pub fn new(
+        cloud: &'a Cloud,
+        placement: &'a dyn PlacementAlgorithm,
+        scheduler: &'a dyn Scheduler,
+        seed: u64,
+    ) -> Self {
+        ServiceBuilder {
+            cfg: RuntimeConfig {
+                cloud,
+                placement,
+                scheduler,
+                admission: AdmissionPolicy::default(),
+                path_reservation: false,
+                placement_cache: true,
+                cache_quantum: 1,
+                cache_capacity: PlacementCache::DEFAULT_CAPACITY,
+                batched_allocation: true,
+                sharded_front_layer: true,
+                fingerprint_seeding: true,
+                preemption: false,
+                aging_rate: 0.0,
+                load_shed: None,
+                worker_threads: crate::runtime::env_worker_threads(),
+                seed,
+            },
+        }
+    }
+
+    pub(crate) fn from_config(cfg: RuntimeConfig<'a>) -> Self {
+        ServiceBuilder { cfg }
+    }
+
+    /// Selects the admission policy (default: priority-aware backfill).
+    pub fn admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.cfg.admission = admission;
+        self
+    }
+
+    /// Enables executor path reservation (swapping-station holds, see
+    /// [`crate::exec::Executor::with_path_reservation`]; off by
+    /// default).
+    pub fn path_reservation(mut self, enabled: bool) -> Self {
+        self.cfg.path_reservation = enabled;
+        self
+    }
+
+    /// Enables or disables the placement cache (on by default). With
+    /// the default exact signature (quantum 1) a hit replays an
+    /// identical computation, so cached and uncached runs produce
+    /// byte-identical schedules; disable only to A/B the cache or when
+    /// a placement algorithm violates seeded determinism.
+    pub fn placement_cache(mut self, enabled: bool) -> Self {
+        self.cfg.placement_cache = enabled;
+        self
+    }
+
+    /// Sets the placement cache's free-capacity quantization bucket
+    /// (default 1 = exact; see [`PlacementCache::with_quantum`]).
+    /// Coarser buckets raise the hit rate but let capacity drift within
+    /// a bucket reuse stale results, which can shift schedules (never
+    /// feasibility).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum == 0`.
+    pub fn cache_quantum(mut self, quantum: usize) -> Self {
+        assert!(quantum > 0, "quantization bucket must be positive");
+        self.cfg.cache_quantum = quantum;
+        self
+    }
+
+    /// Caps the placement cache's entry count (default
+    /// [`PlacementCache::DEFAULT_CAPACITY`]; see
+    /// [`PlacementCache::with_capacity`]). Long-lived services facing
+    /// unbounded distinct signatures evict least-recently-used entries
+    /// instead of growing without bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        self.cfg.cache_capacity = capacity;
+        self
+    }
+
+    /// Enables or disables the executor's change-driven allocation
+    /// elision (on by default; see
+    /// [`crate::exec::Executor::with_batched_allocation`]).
+    pub fn batched_allocation(mut self, enabled: bool) -> Self {
+        self.cfg.batched_allocation = enabled;
+        self
+    }
+
+    /// Enables or disables the executor's per-QPU-pair sharded front
+    /// layer (on by default; see
+    /// [`crate::exec::Executor::with_sharded_front_layer`]). Sharded
+    /// and global runs produce byte-identical seeded schedules;
+    /// disabling is for A/B comparison.
+    pub fn sharded_front_layer(mut self, enabled: bool) -> Self {
+        self.cfg.sharded_front_layer = enabled;
+        self
+    }
+
+    /// Derives each job's placement seed from its circuit's structural
+    /// fingerprint instead of its workload index (on by default).
+    ///
+    /// With fingerprint seeding, two jobs submitting the *same circuit
+    /// shape* against the *same free-capacity vector* are by
+    /// construction the same placement problem — which is exactly the
+    /// placement cache's key, so steady-state traffic of repeated
+    /// shapes hits the cache instead of re-running the full pipeline
+    /// per admission. Runs remain deterministic per run seed, and
+    /// cached and uncached runs remain byte-identical (the seed is a
+    /// function of the key either way). Disabling restores the legacy
+    /// per-workload-index seed derivation — and with it the exact
+    /// schedules of pre-default seeded runs (the opt-out golden test
+    /// pins them).
+    pub fn fingerprint_seeding(mut self, enabled: bool) -> Self {
+        self.cfg.fingerprint_seeding = enabled;
+        self
+    }
+
+    /// Enables SLA-driven preemption (off by default): admitting a job
+    /// that carries a deadline suspends every running deadline-free
+    /// job's remote gates, returning their communication pairs to the
+    /// fabric until no deadline-carrying job remains in flight.
+    /// Suspended jobs keep their computing qubits (placements are not
+    /// migratable) and resume exactly where they parked.
+    pub fn preemption(mut self, enabled: bool) -> Self {
+        self.cfg.preemption = enabled;
+        self
+    }
+
+    /// Sets the queue aging rate (default 0 = off): each waiting job's
+    /// queue metric grows by `rate` per tick it has waited, so
+    /// starvation-prone policies ([`AdmissionPolicy::ShortestJobFirst`],
+    /// [`AdmissionPolicy::DeadlineAware`]) eventually serve every
+    /// waiter. Arrival-ordered policies ignore it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is negative or not finite.
+    pub fn aging_rate(mut self, rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate >= 0.0,
+            "aging rate must be finite and non-negative"
+        );
+        self.cfg.aging_rate = rate;
+        self
+    }
+
+    /// Enables admission-time load shedding (off by default): arrivals
+    /// are rejected with [`crate::error::ExecError::LoadShed`] while
+    /// the service is over the policy's waiting-queue-depth or
+    /// streaming-p99 threshold. In a fleet, a shed is also the router's
+    /// per-backend backpressure signal: shed jobs re-route to another
+    /// backend instead of being dropped.
+    pub fn load_shedding(mut self, policy: LoadShedPolicy) -> Self {
+        self.cfg.load_shed = Some(policy);
+        self
+    }
+
+    /// Sets the worker-thread count for the deterministic parallel hot
+    /// path (clamped to ≥ 1; 1 = fully serial). The default is read
+    /// from the `CLOUDQC_THREADS` environment variable (see
+    /// [`crate::runtime::env_worker_threads`]), falling back to 1.
+    ///
+    /// At ≥ 2 threads the executor evaluates QPU-disjoint shard
+    /// components on a scoped worker pool
+    /// ([`crate::exec::Executor::with_worker_threads`]) and the engine
+    /// speculates admission placements for the waiting queue in
+    /// parallel — both k-way-merged back into the exact serial order,
+    /// so seeded schedules are byte-identical at every worker count
+    /// (pinned in `tests/runtime_golden.rs`).
+    pub fn worker_threads(mut self, threads: usize) -> Self {
+        self.cfg.worker_threads = threads.max(1);
+        self
+    }
+
+    /// Builds the resident [`Service`] this configuration describes.
+    pub fn build(self) -> Service<'a> {
+        Service::from_config(self.cfg)
+    }
+
+    /// Builds the one-shot [`Orchestrator`] wrapper instead — the entry
+    /// point finite-trace experiments keep using.
+    pub fn build_orchestrator(self) -> Orchestrator<'a> {
+        Orchestrator::from_config(self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::CloudQcPlacement;
+    use crate::schedule::CloudQcScheduler;
+    use crate::workload::Workload;
+    use cloudqc_circuit::generators::catalog;
+    use cloudqc_cloud::CloudBuilder;
+
+    #[test]
+    fn builder_and_legacy_with_methods_agree() {
+        // The delegating wrappers and the builder must describe the
+        // same configuration — same workload, byte-identical outcomes.
+        let cloud = CloudBuilder::paper_default(5).build();
+        let placement = CloudQcPlacement::default();
+        let w = Workload::poisson(
+            &[
+                catalog::by_name("qft_n29").unwrap(),
+                catalog::by_name("ghz_n40").unwrap(),
+            ],
+            5,
+            2_000.0,
+            5,
+        );
+        let legacy = Orchestrator::new(&cloud, &placement, &CloudQcScheduler, 5)
+            .with_admission(AdmissionPolicy::ShortestJobFirst)
+            .with_cache_quantum(2)
+            .with_aging_rate(0.5)
+            .run(&w)
+            .unwrap();
+        let built = ServiceBuilder::new(&cloud, &placement, &CloudQcScheduler, 5)
+            .admission(AdmissionPolicy::ShortestJobFirst)
+            .cache_quantum(2)
+            .aging_rate(0.5)
+            .build_orchestrator()
+            .run(&w)
+            .unwrap();
+        assert_eq!(legacy.outcomes, built.outcomes);
+        assert_eq!(legacy.rejected, built.rejected);
+    }
+
+    #[test]
+    fn built_service_runs_epochs() {
+        let cloud = CloudBuilder::paper_default(3).build();
+        let placement = CloudQcPlacement::default();
+        let mut svc = ServiceBuilder::new(&cloud, &placement, &CloudQcScheduler, 9)
+            .worker_threads(1)
+            .build();
+        svc.submit(catalog::by_name("vqe_n4").unwrap(), cloudqc_sim::Tick::ZERO);
+        let report = svc.drain().unwrap();
+        assert_eq!(report.completed, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cache_quantum_is_rejected() {
+        let cloud = CloudBuilder::paper_default(3).build();
+        let placement = CloudQcPlacement::default();
+        let _ = ServiceBuilder::new(&cloud, &placement, &CloudQcScheduler, 1).cache_quantum(0);
+    }
+}

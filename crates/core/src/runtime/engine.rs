@@ -238,6 +238,43 @@ impl<'a> Engine<'a> {
         self.exec.comm_free()
     }
 
+    /// The live free-capacity ledger (what admission places against).
+    pub(crate) fn status(&self) -> &CloudStatus {
+        &self.status
+    }
+
+    /// Drains the era for a backend failure: suspends every in-flight
+    /// job through the preemption machinery (parked remote gates return
+    /// their communication pairs to the fabric) and returns the record
+    /// indices of *all* unfinished work — in-flight, waiting, and
+    /// not-yet-arrived — so the caller can re-submit it elsewhere. The
+    /// engine is not usable afterwards; drop it.
+    ///
+    /// Partial progress is lost by design (restart-from-scratch
+    /// failover: placements are not migratable across clouds), but no
+    /// job is lost — everything unfinished is returned exactly once.
+    pub(crate) fn evacuate(&mut self) -> Vec<usize> {
+        debug_assert!(
+            self.outcomes.is_empty() && self.rejections.is_empty(),
+            "take_window before evacuating"
+        );
+        let mut evacuated = Vec::new();
+        for id in 0..self.admitted.len() {
+            if self.exec.job_result(id).is_none() {
+                self.exec.suspend_job(id);
+                evacuated.push(self.jobs[self.admitted[id].job].record_index);
+            }
+        }
+        evacuated.extend(self.waiting.iter().map(|&id| self.jobs[id].record_index));
+        evacuated.extend(
+            self.upcoming[self.next_arrival..]
+                .iter()
+                .map(|&id| self.jobs[id].record_index),
+        );
+        evacuated.sort_unstable();
+        evacuated
+    }
+
     /// Drains the completions and rejections recorded since the last
     /// call (completions in completion order).
     pub(crate) fn take_window(&mut self) -> (Vec<JobRecord>, Vec<(usize, ExecError)>) {

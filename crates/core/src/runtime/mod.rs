@@ -38,12 +38,21 @@
 //! test in `tests/runtime_golden.rs`).
 
 mod admission;
+mod builder;
 mod engine;
+pub mod fleet;
 mod orchestrator;
+pub mod routing;
 pub mod service;
 
 pub use admission::{AdmissionPolicy, LoadShedPolicy};
+pub use builder::ServiceBuilder;
+pub use fleet::{Fleet, FleetBuilder, FleetReport};
 pub use orchestrator::{JobRecord, Orchestrator, RunReport};
+pub use routing::{
+    CheapestPlacement, RandomRouting, RoundRobin, RouteContext, RoutingPolicy, TenantAffinity,
+    UtilizationBalanced,
+};
 pub use service::{Service, ServiceReport, WindowReport};
 
 /// The default worker-thread count, read from the `CLOUDQC_THREADS`

@@ -21,9 +21,9 @@
 
 use crate::error::{ExecError, PlacementError};
 use crate::exec::AllocStats;
-use crate::placement::{CacheStats, PlacementAlgorithm, PlacementCache};
+use crate::placement::{CacheStats, PlacementAlgorithm};
 use crate::runtime::service::{RuntimeConfig, Service};
-use crate::runtime::{AdmissionPolicy, LoadShedPolicy};
+use crate::runtime::{AdmissionPolicy, LoadShedPolicy, ServiceBuilder};
 use crate::schedule::Scheduler;
 use crate::workload::Workload;
 use cloudqc_cloud::Cloud;
@@ -187,177 +187,100 @@ pub struct Orchestrator<'a> {
 impl<'a> Orchestrator<'a> {
     /// A runtime over one cloud, placement algorithm and network
     /// scheduler, with the default (priority-aware backfill) admission.
+    ///
+    /// New code should prefer the builder directly:
+    /// [`ServiceBuilder::new`] carries the same defaults and reaches
+    /// both faces ([`ServiceBuilder::build`] for a resident service,
+    /// [`ServiceBuilder::build_orchestrator`] for this one-shot
+    /// wrapper). The `with_*` methods below survive as thin delegating
+    /// wrappers for existing call sites.
     pub fn new(
         cloud: &'a Cloud,
         placement: &'a dyn PlacementAlgorithm,
         scheduler: &'a dyn Scheduler,
         seed: u64,
     ) -> Self {
-        Orchestrator {
-            cfg: RuntimeConfig {
-                cloud,
-                placement,
-                scheduler,
-                admission: AdmissionPolicy::default(),
-                path_reservation: false,
-                placement_cache: true,
-                cache_quantum: 1,
-                cache_capacity: PlacementCache::DEFAULT_CAPACITY,
-                batched_allocation: true,
-                sharded_front_layer: true,
-                fingerprint_seeding: true,
-                preemption: false,
-                aging_rate: 0.0,
-                load_shed: None,
-                worker_threads: crate::runtime::env_worker_threads(),
-                seed,
-            },
-        }
+        ServiceBuilder::new(cloud, placement, scheduler, seed).build_orchestrator()
     }
 
-    /// Selects the admission policy.
-    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
-        self.cfg.admission = admission;
-        self
+    pub(crate) fn from_config(cfg: RuntimeConfig<'a>) -> Self {
+        Orchestrator { cfg }
     }
 
-    /// Enables executor path reservation (swapping-station holds, see
-    /// [`crate::exec::Executor::with_path_reservation`]).
-    pub fn with_path_reservation(mut self, enabled: bool) -> Self {
-        self.cfg.path_reservation = enabled;
-        self
+    fn rebuild(self, f: impl FnOnce(ServiceBuilder<'a>) -> ServiceBuilder<'a>) -> Self {
+        f(ServiceBuilder::from_config(self.cfg)).build_orchestrator()
     }
 
-    /// Enables or disables the placement cache (on by default). With
-    /// the default exact signature (quantum 1) a hit replays an
-    /// identical computation, so cached and uncached runs produce
-    /// byte-identical schedules; disable only to A/B the cache or when
-    /// a placement algorithm violates seeded determinism.
-    pub fn with_placement_cache(mut self, enabled: bool) -> Self {
-        self.cfg.placement_cache = enabled;
-        self
+    /// Legacy wrapper for [`ServiceBuilder::admission`].
+    #[doc(hidden)]
+    pub fn with_admission(self, admission: AdmissionPolicy) -> Self {
+        self.rebuild(|b| b.admission(admission))
     }
 
-    /// Sets the placement cache's free-capacity quantization bucket
-    /// (default 1 = exact; see [`PlacementCache::with_quantum`]).
-    /// Coarser buckets raise the hit rate but let capacity drift within
-    /// a bucket reuse stale results, which can shift schedules (never
-    /// feasibility).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `quantum == 0`.
-    pub fn with_cache_quantum(mut self, quantum: usize) -> Self {
-        assert!(quantum > 0, "quantization bucket must be positive");
-        self.cfg.cache_quantum = quantum;
-        self
+    /// Legacy wrapper for [`ServiceBuilder::path_reservation`].
+    #[doc(hidden)]
+    pub fn with_path_reservation(self, enabled: bool) -> Self {
+        self.rebuild(|b| b.path_reservation(enabled))
     }
 
-    /// Caps the placement cache's entry count (default
-    /// [`PlacementCache::DEFAULT_CAPACITY`]; see
-    /// [`PlacementCache::with_capacity`]). Long-lived services facing
-    /// unbounded distinct signatures evict least-recently-used entries
-    /// instead of growing without bound.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `capacity == 0`.
-    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
-        assert!(capacity > 0, "cache capacity must be positive");
-        self.cfg.cache_capacity = capacity;
-        self
+    /// Legacy wrapper for [`ServiceBuilder::placement_cache`].
+    #[doc(hidden)]
+    pub fn with_placement_cache(self, enabled: bool) -> Self {
+        self.rebuild(|b| b.placement_cache(enabled))
     }
 
-    /// Enables or disables the executor's change-driven allocation
-    /// elision (on by default; see
-    /// [`crate::exec::Executor::with_batched_allocation`]).
-    pub fn with_batched_allocation(mut self, enabled: bool) -> Self {
-        self.cfg.batched_allocation = enabled;
-        self
+    /// Legacy wrapper for [`ServiceBuilder::cache_quantum`].
+    #[doc(hidden)]
+    pub fn with_cache_quantum(self, quantum: usize) -> Self {
+        self.rebuild(|b| b.cache_quantum(quantum))
     }
 
-    /// Enables or disables the executor's per-QPU-pair sharded front
-    /// layer (on by default; see
-    /// [`crate::exec::Executor::with_sharded_front_layer`]). Sharded
-    /// and global runs produce byte-identical seeded schedules;
-    /// disabling is for A/B comparison.
-    pub fn with_sharded_front_layer(mut self, enabled: bool) -> Self {
-        self.cfg.sharded_front_layer = enabled;
-        self
+    /// Legacy wrapper for [`ServiceBuilder::cache_capacity`].
+    #[doc(hidden)]
+    pub fn with_cache_capacity(self, capacity: usize) -> Self {
+        self.rebuild(|b| b.cache_capacity(capacity))
     }
 
-    /// Sets the worker-thread count for the deterministic parallel hot
-    /// path (clamped to ≥ 1; 1 = fully serial). The default is read
-    /// from the `CLOUDQC_THREADS` environment variable (see
-    /// [`crate::runtime::env_worker_threads`]), falling back to 1.
-    ///
-    /// At ≥ 2 threads the executor evaluates QPU-disjoint shard
-    /// components on a scoped worker pool
-    /// ([`crate::exec::Executor::with_worker_threads`]) and the engine
-    /// speculates admission placements for the waiting queue in
-    /// parallel — both k-way-merged back into the exact serial order,
-    /// so seeded schedules are byte-identical at every worker count
-    /// (pinned in `tests/runtime_golden.rs`).
-    pub fn with_worker_threads(mut self, threads: usize) -> Self {
-        self.cfg.worker_threads = threads.max(1);
-        self
+    /// Legacy wrapper for [`ServiceBuilder::batched_allocation`].
+    #[doc(hidden)]
+    pub fn with_batched_allocation(self, enabled: bool) -> Self {
+        self.rebuild(|b| b.batched_allocation(enabled))
     }
 
-    /// Derives each job's placement seed from its circuit's structural
-    /// fingerprint instead of its workload index (on by default).
-    ///
-    /// With fingerprint seeding, two jobs submitting the *same circuit
-    /// shape* against the *same free-capacity vector* are by
-    /// construction the same placement problem — which is exactly the
-    /// placement cache's key, so steady-state traffic of repeated
-    /// shapes hits the cache instead of re-running the full pipeline
-    /// per admission. Runs remain deterministic per run seed, and
-    /// cached and uncached runs remain byte-identical (the seed is a
-    /// function of the key either way). Disabling restores the legacy
-    /// per-workload-index seed derivation — and with it the exact
-    /// schedules of pre-default seeded runs (the opt-out golden test
-    /// pins them).
-    pub fn with_fingerprint_seeding(mut self, enabled: bool) -> Self {
-        self.cfg.fingerprint_seeding = enabled;
-        self
+    /// Legacy wrapper for [`ServiceBuilder::sharded_front_layer`].
+    #[doc(hidden)]
+    pub fn with_sharded_front_layer(self, enabled: bool) -> Self {
+        self.rebuild(|b| b.sharded_front_layer(enabled))
     }
 
-    /// Enables SLA-driven preemption (off by default): admitting a job
-    /// that carries a deadline suspends every running deadline-free
-    /// job's remote gates, returning their communication pairs to the
-    /// fabric until no deadline-carrying job remains in flight.
-    /// Suspended jobs keep their computing qubits (placements are not
-    /// migratable) and resume exactly where they parked.
-    pub fn with_preemption(mut self, enabled: bool) -> Self {
-        self.cfg.preemption = enabled;
-        self
+    /// Legacy wrapper for [`ServiceBuilder::worker_threads`].
+    #[doc(hidden)]
+    pub fn with_worker_threads(self, threads: usize) -> Self {
+        self.rebuild(|b| b.worker_threads(threads))
     }
 
-    /// Sets the queue aging rate (default 0 = off): each waiting job's
-    /// queue metric grows by `rate` per tick it has waited, so
-    /// starvation-prone policies ([`AdmissionPolicy::ShortestJobFirst`],
-    /// [`AdmissionPolicy::DeadlineAware`]) eventually serve every
-    /// waiter. Arrival-ordered policies ignore it.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `rate` is negative or not finite.
-    pub fn with_aging_rate(mut self, rate: f64) -> Self {
-        assert!(
-            rate.is_finite() && rate >= 0.0,
-            "aging rate must be finite and non-negative"
-        );
-        self.cfg.aging_rate = rate;
-        self
+    /// Legacy wrapper for [`ServiceBuilder::fingerprint_seeding`].
+    #[doc(hidden)]
+    pub fn with_fingerprint_seeding(self, enabled: bool) -> Self {
+        self.rebuild(|b| b.fingerprint_seeding(enabled))
     }
 
-    /// Enables admission-time load shedding (off by default): arrivals
-    /// are rejected with [`crate::error::ExecError::LoadShed`] while
-    /// the service is over the policy's waiting-queue-depth or
-    /// streaming-p99 threshold.
-    pub fn with_load_shedding(mut self, policy: LoadShedPolicy) -> Self {
-        self.cfg.load_shed = Some(policy);
-        self
+    /// Legacy wrapper for [`ServiceBuilder::preemption`].
+    #[doc(hidden)]
+    pub fn with_preemption(self, enabled: bool) -> Self {
+        self.rebuild(|b| b.preemption(enabled))
+    }
+
+    /// Legacy wrapper for [`ServiceBuilder::aging_rate`].
+    #[doc(hidden)]
+    pub fn with_aging_rate(self, rate: f64) -> Self {
+        self.rebuild(|b| b.aging_rate(rate))
+    }
+
+    /// Legacy wrapper for [`ServiceBuilder::load_shedding`].
+    #[doc(hidden)]
+    pub fn with_load_shedding(self, policy: LoadShedPolicy) -> Self {
+        self.rebuild(|b| b.load_shedding(policy))
     }
 
     /// Turns this configuration into a resident [`Service`]: the same

@@ -60,7 +60,7 @@
 
 use crate::error::{ExecError, PlacementError};
 use crate::exec::AllocStats;
-use crate::placement::{CacheStats, PlacementAlgorithm, PlacementCache};
+use crate::placement::{CacheStats, Placement, PlacementAlgorithm, PlacementCache};
 use crate::runtime::engine::Engine;
 use crate::runtime::orchestrator::{JobRecord, RunReport};
 use crate::runtime::{AdmissionPolicy, LoadShedPolicy};
@@ -317,6 +317,82 @@ impl<'a> Service<'a> {
     /// The streaming metrics aggregated so far.
     pub fn online(&self) -> &OnlineReport {
         &self.online
+    }
+
+    /// The cloud this service schedules onto.
+    pub fn cloud(&self) -> &'a Cloud {
+        self.cfg.cloud
+    }
+
+    /// Speculatively places `job` against the current free-capacity
+    /// ledger (the live engine's when one exists, the idle cloud's
+    /// otherwise) *without* submitting it — the probe a fleet router
+    /// uses to score backends before committing a job to one.
+    ///
+    /// The probe goes through the persistent [`PlacementCache`] when
+    /// enabled, so repeated probes of hot shapes are cheap and warm the
+    /// cache for the eventual admission; probe lookups count in
+    /// [`Service::cache_stats`] like any other. The probed seed equals
+    /// the admission seed under fingerprint seeding (the default); with
+    /// fingerprint seeding off, admission seeds depend on the job's
+    /// submission index — unknowable before routing — so the probe uses
+    /// the raw run seed as an approximation (fine for *scoring*; the
+    /// actual admission recomputes).
+    pub(crate) fn probe_place(&mut self, job: &WorkloadJob) -> Result<Placement, PlacementError> {
+        let fingerprint = job.circuit.fingerprint();
+        let seed = if self.cfg.fingerprint_seeding {
+            self.cfg.seed ^ fingerprint.as_u64()
+        } else {
+            self.cfg.seed
+        };
+        let status = match &self.live {
+            Some(engine) => engine.status().clone(),
+            None => self.cfg.cloud.status(),
+        };
+        match self.cache.as_mut() {
+            Some(cache) => cache.place_fingerprinted(
+                fingerprint,
+                self.cfg.placement,
+                &job.circuit,
+                self.cfg.cloud,
+                &status,
+                seed,
+            ),
+            None => self
+                .cfg
+                .placement
+                .place(&job.circuit, self.cfg.cloud, &status, seed),
+        }
+    }
+
+    /// Drains the service for a backend failure: every unfinished job —
+    /// in flight (suspended via the preemption machinery, partial
+    /// progress lost), waiting for admission, not yet arrived, or still
+    /// in the pending buffer — is withdrawn, and their continuous-clock
+    /// record indices are returned in ascending order, exactly once
+    /// each, so a fleet can re-submit them to surviving backends.
+    ///
+    /// The lifetime clock, streaming metrics, cache, and work counters
+    /// survive; the live engine is retired (its executor state is
+    /// discarded — restart-from-scratch failover, placements are not
+    /// migratable across clouds). Pending jobs consume their record
+    /// indices even though they never ran, keeping the index space
+    /// append-only. The service itself remains usable: recovery is
+    /// simply submitting to it again.
+    pub fn evacuate(&mut self) -> Vec<usize> {
+        let mut evacuated = Vec::new();
+        if let Some(mut engine) = self.live.take() {
+            evacuated = engine.evacuate();
+            self.clock = engine.now().as_ticks();
+            self.allocation.merge(engine.allocation());
+            self.event_batches.merge(&engine.event_batches());
+            self.preemptions += engine.preemptions();
+        }
+        let first = self.injected;
+        self.injected += self.pending.len();
+        evacuated.extend(first..self.injected);
+        self.pending.clear();
+        evacuated
     }
 
     /// Lifetime counters of the persistent placement cache (zeroed

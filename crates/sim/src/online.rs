@@ -109,6 +109,28 @@ impl RunningStat {
             self.m2 / self.count as f64
         }
     }
+
+    /// Folds another stream's aggregates into this one (Chan et al.'s
+    /// parallel Welford combine): the result is exactly what one stat
+    /// fed both streams would hold — count, mean, variance, min, and
+    /// max are all order-insensitive. This is how a fleet of services
+    /// merges per-backend streams into one report.
+    pub fn merge(&mut self, other: &RunningStat) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let (n1, n2) = (self.count as f64, other.count as f64);
+        let delta = other.mean - self.mean;
+        self.mean += delta * n2 / (n1 + n2);
+        self.m2 += other.m2 + delta * delta * n1 * n2 / (n1 + n2);
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
 }
 
 /// A bounded, seed-deterministic uniform sample over a stream
@@ -236,6 +258,26 @@ impl Reservoir {
             self.sorted_valid.set(true);
         }
         Some(percentile(&sorted, q.max(f64::MIN_POSITIVE)))
+    }
+
+    /// Folds another reservoir's retained sample into this one,
+    /// deterministically. While both sides are still exhaustive and
+    /// their union fits this reservoir's capacity, the result is the
+    /// exact union (quantiles stay exact). Beyond that the merge is an
+    /// approximation: the other side's *retained* samples are offered
+    /// through the normal seeded replacement stream (its already-evicted
+    /// tail cannot be recovered), and `seen` sums so
+    /// [`Reservoir::is_exhaustive`] stays honest for the combined
+    /// stream. Good enough for fleet-level percentile estimates; exact
+    /// per-backend reservoirs remain available on each service.
+    pub fn merge(&mut self, other: &Reservoir) {
+        let seen_before = self.seen;
+        for &x in &other.samples {
+            self.record(x);
+        }
+        // `record` counted only the retained offers; account for the
+        // other side's full stream length instead.
+        self.seen = seen_before + other.seen;
     }
 }
 
@@ -403,6 +445,24 @@ impl OnlineReport {
     pub fn reservoir(&self) -> &Reservoir {
         &self.reservoir
     }
+
+    /// Folds another report's streams into this one — how a fleet
+    /// merges per-backend streaming reports. The running aggregates
+    /// combine exactly ([`RunningStat::merge`]); the percentile
+    /// reservoir combines exactly while the union is within capacity
+    /// and degrades to a deterministic estimate beyond
+    /// ([`Reservoir::merge`]); rejection counts sum and the last-event
+    /// ticks take the maximum.
+    pub fn merge(&mut self, other: &OnlineReport) {
+        self.completion.merge(&other.completion);
+        self.queueing.merge(&other.queueing);
+        self.epr_wait.merge(&other.epr_wait);
+        self.compute.merge(&other.compute);
+        self.reservoir.merge(&other.reservoir);
+        self.rejected += other.rejected;
+        self.last_finish = self.last_finish.max(other.last_finish);
+        self.last_rejection = self.last_rejection.max(other.last_rejection);
+    }
 }
 
 #[cfg(test)]
@@ -543,5 +603,102 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_reservoir_capacity_rejected() {
         Reservoir::new(0, 1);
+    }
+
+    #[test]
+    fn running_stat_merge_equals_one_stream() {
+        let (a_samples, b_samples) = ([3.0, 1.0, 4.0, 1.0], [5.0, 9.0, 2.0, 6.0, 5.0]);
+        let mut a = RunningStat::default();
+        let mut b = RunningStat::default();
+        let mut whole = RunningStat::default();
+        for &x in &a_samples {
+            a.record(x);
+            whole.record(x);
+        }
+        for &x in &b_samples {
+            b.record(x);
+            whole.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-12);
+        assert!((a.variance() - whole.variance()).abs() < 1e-12);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        // Merging into an empty stat adopts the other side verbatim.
+        let mut empty = RunningStat::default();
+        empty.merge(&whole);
+        assert_eq!(empty, whole);
+        // Merging an empty stat is a no-op.
+        let snapshot = whole.clone();
+        whole.merge(&RunningStat::default());
+        assert_eq!(whole, snapshot);
+    }
+
+    #[test]
+    fn exhaustive_reservoir_merge_is_the_exact_union() {
+        let mut a = Reservoir::new(16, 3);
+        let mut b = Reservoir::new(16, 4);
+        for x in [1.0, 5.0, 9.0] {
+            a.record(x);
+        }
+        for x in [2.0, 4.0] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.seen(), 5);
+        assert!(a.is_exhaustive());
+        assert_eq!(a.quantile(0.0), Some(1.0));
+        assert_eq!(a.quantile(1.0), Some(9.0));
+    }
+
+    #[test]
+    fn overflowing_reservoir_merge_stays_bounded_and_deterministic() {
+        let fill = |seed, lo: u64, hi: u64| {
+            let mut r = Reservoir::new(32, seed);
+            for i in lo..hi {
+                r.record(i as f64);
+            }
+            r
+        };
+        let merged = |seed| {
+            let mut a = fill(seed, 0, 500);
+            a.merge(&fill(seed + 1, 500, 1_000));
+            a
+        };
+        let m = merged(7);
+        assert_eq!(m.len(), 32);
+        assert_eq!(m.seen(), 1_000, "seen sums the full combined stream");
+        assert!(!m.is_exhaustive());
+        let p50 = m.quantile(0.5).unwrap();
+        assert!((0.0..1_000.0).contains(&p50));
+        assert_eq!(merged(7).quantile(0.5), merged(7).quantile(0.5));
+    }
+
+    #[test]
+    fn online_report_merge_combines_streams() {
+        let mut a = OnlineReport::new(1);
+        let mut b = OnlineReport::new(2);
+        a.record_completion(
+            Tick::new(100),
+            LatencyBreakdown::new(50, 20, 30),
+            Tick::new(400),
+        );
+        b.record_completion(
+            Tick::new(300),
+            LatencyBreakdown::new(100, 80, 120),
+            Tick::new(900),
+        );
+        b.record_rejection(Tick::new(950));
+        a.merge(&b);
+        assert_eq!(a.completed(), 2);
+        assert_eq!(a.rejected(), 1);
+        assert!((a.mean_completion_time() - 200.0).abs() < 1e-12);
+        let mean = a.mean_breakdown().unwrap();
+        assert_eq!(mean.queueing, 75.0);
+        assert_eq!(a.last_finish(), Tick::new(900));
+        assert_eq!(a.last_rejection(), Tick::new(950));
+        assert_eq!(a.quantile(1.0), Some(300.0));
     }
 }

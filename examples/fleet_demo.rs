@@ -1,0 +1,222 @@
+//! Federation in one demo: a `Fleet` fronting three heterogeneous
+//! clouds on one continuous clock — the routing-policy matrix over a
+//! skewed two-tenant stream, spillover when a starved backend rejects a
+//! distributed job, load-shed backpressure re-routing, and a mid-run
+//! backend failure drained by preemption and replayed elsewhere.
+//!
+//! ```text
+//! cargo run --release --example fleet_demo
+//! ```
+
+use cloudqc::prelude::*;
+
+/// Four clouds: two big paper-shaped regions (same capacity, different
+/// topologies), a mid-size ring, and a small comm-starved edge site
+/// that cannot run any job needing a split across QPUs.
+struct Regions {
+    big: Cloud,
+    twin: Cloud,
+    ring: Cloud,
+    edge: Cloud,
+}
+
+fn regions() -> Regions {
+    Regions {
+        big: CloudBuilder::paper_default(42).build(),
+        twin: CloudBuilder::paper_default(43).build(),
+        ring: CloudBuilder::new(6)
+            .computing_qubits(25)
+            .communication_qubits(4)
+            .ring_topology()
+            .build(),
+        edge: CloudBuilder::new(2)
+            .computing_qubits(20)
+            .communication_qubits(0)
+            .line_topology()
+            .build(),
+    }
+}
+
+/// A skewed two-tenant stream: tenant 0 hammers one hot shape, tenant 1
+/// sends a different shape a quarter of the time.
+fn skewed_stream(fleet: &mut Fleet, n: u64) {
+    for i in 0..n {
+        let (tenant, shape) = if i % 4 == 3 {
+            (1, "ghz_n40")
+        } else {
+            (0, "qft_n29")
+        };
+        let mut job = WorkloadJob::new(
+            catalog::by_name(shape).expect("catalog circuit"),
+            Tick::new(i * 1_500),
+        );
+        job.tenant = tenant;
+        fleet.submit_job(job);
+    }
+}
+
+fn main() {
+    let r = regions();
+    let placement = CloudQcPlacement::default();
+
+    // ── 1. The routing-policy matrix ───────────────────────────────
+    // The same skewed stream through a fleet of two equal-capacity
+    // regions under each policy. Tenant affinity keeps each tenant's
+    // placement-cache signatures on one backend; cheapest-placement
+    // probes the caches speculatively; utilization balancing ignores
+    // shapes entirely.
+    println!("== Routing policies over a skewed two-tenant stream ==\n");
+    println!(
+        "{:>22} {:>10} {:>11} {:>12} {:>12}",
+        "policy", "mean JCT", "cache hit%", "backend 0", "backend 1"
+    );
+    let policies: Vec<Box<dyn RoutingPolicy>> = vec![
+        Box::new(UtilizationBalanced),
+        Box::new(CheapestPlacement),
+        Box::new(TenantAffinity::new()),
+        Box::new(RoundRobin::new()),
+        Box::new(RandomRouting::new(7)),
+    ];
+    for policy in policies {
+        let mut fleet = FleetBuilder::new()
+            .backend(ServiceBuilder::new(
+                &r.big,
+                &placement,
+                &CloudQcScheduler,
+                9,
+            ))
+            .backend(ServiceBuilder::new(
+                &r.twin,
+                &placement,
+                &CloudQcScheduler,
+                9,
+            ))
+            .boxed_policy(policy)
+            .build();
+        skewed_stream(&mut fleet, 32);
+        fleet.drive_to_quiescence().expect("stream drains");
+        let report = fleet.report();
+        println!(
+            "{:>22} {:>10.0} {:>10.0}% {:>12} {:>12}",
+            report.policy,
+            report.online.mean_completion_time(),
+            100.0 * report.placement_cache.hit_rate(),
+            report.backends[0].completed,
+            report.backends[1].completed,
+        );
+    }
+    println!(
+        "\nThe shape-blind balancers split every tenant's signature stream\n\
+         across both caches and run cold. Cheapest-placement runs hot by\n\
+         piling the whole stream onto one region; tenant affinity gets the\n\
+         cache heat while still spreading tenants across the fleet."
+    );
+
+    // ── 2. Spillover: a starved backend rejects, the fleet re-routes ─
+    // The edge site has no communication qubits, so a 30-qubit GHZ that
+    // must split across its two QPUs is rejected there with a typed
+    // starvation error. The fleet counts a spillover and the job lands
+    // on the ring — the submitter never sees the rejection.
+    println!("\n== Spillover off a communication-starved edge site ==\n");
+    let mut fleet = FleetBuilder::new()
+        .backend(ServiceBuilder::new(
+            &r.edge,
+            &placement,
+            &CloudQcScheduler,
+            5,
+        ))
+        .backend(ServiceBuilder::new(
+            &r.ring,
+            &placement,
+            &CloudQcScheduler,
+            5,
+        ))
+        .build();
+    fleet.submit(
+        catalog::by_name("ghz_n30").expect("catalog circuit"),
+        Tick::ZERO,
+    );
+    let window = fleet.drive_to_quiescence().expect("job lands");
+    let report = fleet.report();
+    println!(
+        "completed {} / rejected {} — {} spillover(s); edge ran {}, ring ran {}",
+        report.completed,
+        report.rejected,
+        report.spillovers,
+        report.backends[0].completed,
+        report.backends[1].completed,
+    );
+    assert!(window.rejected.is_empty());
+
+    // ── 3. Load shedding as backpressure ───────────────────────────
+    // A one-QPU backend with a depth-1 queue cap sheds the surge; each
+    // shed is a re-route to the open backend, not a loss.
+    println!("\n== Load-shed backpressure re-routing ==\n");
+    let tiny = CloudBuilder::new(1).computing_qubits(28).build();
+    let mut fleet = FleetBuilder::new()
+        .backend(
+            ServiceBuilder::new(&tiny, &placement, &CloudQcScheduler, 5)
+                .load_shedding(LoadShedPolicy::queue_depth(1)),
+        )
+        .backend(ServiceBuilder::new(
+            &r.ring,
+            &placement,
+            &CloudQcScheduler,
+            5,
+        ))
+        .policy(RoundRobin::new())
+        .build();
+    for _ in 0..6 {
+        fleet.submit(
+            catalog::by_name("ghz_n25").expect("catalog circuit"),
+            Tick::ZERO,
+        );
+    }
+    fleet.drive_to_quiescence().expect("surge drains");
+    let report = fleet.report();
+    println!(
+        "6 submitted under round-robin: {} completed, {} shed-and-rerouted, {} rejected",
+        report.completed, report.reroutes, report.rejected
+    );
+
+    // ── 4. Failover: drain a live backend, replay elsewhere ────────
+    // Mid-run, backend 0 fails: in-flight jobs are suspended via the
+    // preemption machinery, evacuated with their queued and pending
+    // siblings, and re-routed. After recovery the backend rejoins the
+    // candidate set. Conservation holds throughout: every job is
+    // reported exactly once.
+    println!("\n== Mid-run backend failure and recovery ==\n");
+    let pool: Vec<Circuit> = ["qugan_n39", "qft_n29", "ghz_n40"]
+        .iter()
+        .map(|n| catalog::by_name(n).expect("catalog circuit"))
+        .collect();
+    let mut fleet = FleetBuilder::new()
+        .backend(ServiceBuilder::new(
+            &r.big,
+            &placement,
+            &CloudQcScheduler,
+            3,
+        ))
+        .backend(ServiceBuilder::new(
+            &r.ring,
+            &placement,
+            &CloudQcScheduler,
+            3,
+        ))
+        .build();
+    fleet.submit_workload(&Workload::poisson(&pool, 10, 1_000.0, 3));
+    fleet.drive_for(2_000).expect("fleet warms up");
+    let evacuated = fleet.fail_backend(0);
+    println!("backend 0 failed: {evacuated} job(s) evacuated and re-routed");
+    fleet.drive_for(2_000).expect("ring carries the load");
+    fleet.recover_backend(0);
+    let window = fleet.drive_to_quiescence().expect("fleet drains");
+    assert!(window.quiescent);
+    let report = fleet.report();
+    println!(
+        "drained: {} completed + {} rejected == 10 submitted; {} failover, {} unresolved",
+        report.completed, report.rejected, report.failovers, report.unresolved
+    );
+    assert_eq!(report.completed + report.rejected, 10);
+    assert_eq!(report.unresolved, 0);
+}

@@ -41,3 +41,46 @@ pub use cloudqc_cloud as cloud;
 pub use cloudqc_core as core;
 pub use cloudqc_graph as graph;
 pub use cloudqc_sim as sim;
+
+/// The curated single-import surface: everything a typical consumer
+/// needs to build a cloud, configure a service or fleet, submit work,
+/// and read the reports.
+///
+/// This is the *stable* face of the workspace — items here are the
+/// builder-first API (construct through [`ServiceBuilder`](prelude::ServiceBuilder) /
+/// [`FleetBuilder`](prelude::FleetBuilder), not legacy `with_*`
+/// chains), and the error enums
+/// re-exported here are `#[non_exhaustive]` so later PRs can add
+/// variants (e.g. new routing errors) without a breaking release.
+/// Experiment-grade internals (graph partitioning, QASM, individual
+/// schedulers beyond the default) stay behind their module paths.
+///
+/// ```
+/// use cloudqc::prelude::*;
+///
+/// let cloud = CloudBuilder::paper_default(2).build();
+/// let placement = CloudQcPlacement::default();
+/// let mut service = ServiceBuilder::new(&cloud, &placement, &CloudQcScheduler, 7)
+///     .admission(AdmissionPolicy::Backfill)
+///     .build();
+/// service.submit(catalog::by_name("qft_n29").unwrap(), Tick::ZERO);
+/// let window = service.drive_to_quiescence().unwrap();
+/// assert!(window.quiescent);
+/// ```
+pub mod prelude {
+    pub use cloudqc_circuit::generators::catalog;
+    pub use cloudqc_circuit::Circuit;
+    pub use cloudqc_cloud::{Cloud, CloudBuilder, QpuId};
+    pub use cloudqc_core::error::{ExecError, PlacementError};
+    pub use cloudqc_core::placement::{CacheStats, CloudQcPlacement, Placement};
+    pub use cloudqc_core::runtime::{
+        AdmissionPolicy, CheapestPlacement, Fleet, FleetBuilder, FleetReport, JobRecord,
+        LoadShedPolicy, Orchestrator, RandomRouting, RoundRobin, RouteContext, RoutingPolicy,
+        RunReport, Service, ServiceBuilder, ServiceReport, TenantAffinity, UtilizationBalanced,
+        WindowReport,
+    };
+    pub use cloudqc_core::schedule::CloudQcScheduler;
+    pub use cloudqc_core::workload::{Workload, WorkloadJob};
+    pub use cloudqc_sim::online::OnlineReport;
+    pub use cloudqc_sim::Tick;
+}
