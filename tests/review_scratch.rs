@@ -1,0 +1,47 @@
+//! Review scratch: what happens when EVERY backend (all healthy)
+//! rejects a job with a reroutable error?
+
+use cloudqc::circuit::generators::catalog;
+use cloudqc::cloud::CloudBuilder;
+use cloudqc::core::placement::CloudQcPlacement;
+use cloudqc::core::runtime::{FleetBuilder, ServiceBuilder};
+use cloudqc::core::schedule::CloudQcScheduler;
+use cloudqc::sim::Tick;
+
+#[test]
+fn all_backends_reject_a_job() {
+    // Both backends have zero communication qubits: any job that must
+    // split across QPUs is rejected on both. Module docs claim: "A job
+    // every eligible backend has turned away is finally rejected with
+    // the last error."
+    let starved = |_| {
+        CloudBuilder::new(2)
+            .computing_qubits(20)
+            .communication_qubits(0)
+            .line_topology()
+            .build()
+    };
+    let a = starved(0);
+    let b = starved(1);
+    let placement = CloudQcPlacement::default();
+    let mut fleet = FleetBuilder::new()
+        .backend(ServiceBuilder::new(&a, &placement, &CloudQcScheduler, 5))
+        .backend(ServiceBuilder::new(&b, &placement, &CloudQcScheduler, 5))
+        .build();
+    fleet.submit(catalog::by_name("ghz_n30").unwrap(), Tick::ZERO);
+    let window = fleet.drive_to_quiescence().unwrap();
+    eprintln!(
+        "quiescent={} outcomes={} rejected={} orphans={} unresolved={}",
+        window.quiescent,
+        window.outcomes.len(),
+        window.rejected.len(),
+        fleet.orphans(),
+        fleet.unresolved()
+    );
+    assert_eq!(
+        window.rejected.len(),
+        1,
+        "docs promise a final rejection with the last error"
+    );
+    assert!(window.quiescent);
+}
