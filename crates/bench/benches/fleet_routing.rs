@@ -131,7 +131,7 @@ fn bench_fleet_routing(c: &mut Criterion) {
     let arms: [PolicyArm; 4] = [
         ("utilization_balanced", || Box::new(UtilizationBalanced)),
         ("tenant_affinity", || Box::new(TenantAffinity::new())),
-        ("cheapest_placement", || Box::new(CheapestPlacement)),
+        ("cheapest_placement", || Box::new(CheapestPlacement::new())),
         ("random", || Box::new(RandomRouting::new(9))),
     ];
     for (name, make_policy) in arms {

@@ -213,6 +213,11 @@ impl fmt::Display for CaseVerdict {
 /// they gate once the baseline is refreshed. Returns one verdict per
 /// baseline case, in baseline order.
 ///
+/// A `0.0` baseline (a sub-resolution recording from the harness's old
+/// 3-decimal format) can never express a *relative* regression, so it
+/// never fails — refresh such baselines; the harness now records six
+/// decimals.
+///
 /// # Panics
 ///
 /// Panics if `threshold` is not finite and non-negative.
@@ -237,7 +242,7 @@ pub fn compare(
                         baseline_ms: *base,
                         current_ms: Some(v),
                         ratio,
-                        failed: v > base * (1.0 + threshold),
+                        failed: *base > 0.0 && v > base * (1.0 + threshold),
                     }
                 }
                 None => CaseVerdict {
@@ -340,6 +345,17 @@ mod tests {
         assert!(verdicts[0].failed);
         assert_eq!(verdicts[0].current_ms, None);
         assert!(verdicts[0].to_string().contains("missing"));
+    }
+
+    #[test]
+    fn zero_baseline_reports_but_never_gates() {
+        // Legacy 3-decimal baselines collapse sub-microsecond cases to
+        // 0.000; any nonzero current would otherwise fail unconditionally.
+        let verdicts = compare(&cases(&[("a", 0.0)]), &cases(&[("a", 0.001)]), 0.20);
+        assert!(!verdicts[0].failed);
+        assert_eq!(verdicts[0].ratio, 1.0);
+        // Absence still fails: the case disappeared, precision aside.
+        assert!(compare(&cases(&[("a", 0.0)]), &cases(&[("b", 1.0)]), 0.20)[0].failed);
     }
 
     #[test]

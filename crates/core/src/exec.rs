@@ -201,13 +201,46 @@ impl AllocStats {
 
 /// One front-layer shard: the pending requests over a single unordered
 /// QPU pair, kept in the same (priority desc, key asc) order as the
-/// global layer.
+/// global layer — but stored as *priority buckets* so a membership
+/// change memmoves only its own priority's (usually small) bucket, not
+/// the whole shard. A hot pair with 10⁴+ pending requests pays O(log
+/// buckets + bucket len) per insert/remove instead of O(shard len).
+///
+/// Schedulers still see one flat sorted slice: [`Shard::refresh_flat`]
+/// concatenates the buckets lazily, once per allocation round a stale
+/// shard is visited, however many membership changes accumulated since
+/// the last visit. Every change marks the shard dirty, and only dirty
+/// shards are ever read, so a stale `flat` is never observed.
 struct Shard {
     /// The unordered communication edge (lower QPU first).
     pair: (QpuId, QpuId),
-    requests: Vec<RemoteRequest>,
+    /// `(priority, requests)` buckets: priorities strictly descending,
+    /// keys ascending within a bucket, empty buckets removed eagerly.
+    buckets: Vec<(usize, Vec<RemoteRequest>)>,
+    /// The flattened (priority desc, key asc) view handed to the
+    /// scheduler; valid only when `flat_stale` is false.
+    flat: Vec<RemoteRequest>,
+    /// Whether `flat` lags the buckets.
+    flat_stale: bool,
+    /// Pending requests across all buckets.
+    len: usize,
     /// Whether the shard is already queued in `ShardedFront::dirty`.
     dirty: bool,
+}
+
+impl Shard {
+    /// Re-concatenates the buckets into `flat` if any membership
+    /// change happened since the last refresh.
+    fn refresh_flat(&mut self) {
+        if !self.flat_stale {
+            return;
+        }
+        self.flat.clear();
+        for (_, bucket) in &self.buckets {
+            self.flat.extend_from_slice(bucket);
+        }
+        self.flat_stale = false;
+    }
 }
 
 /// The per-QPU-pair sharded front layer (see the module docs): one
@@ -273,7 +306,10 @@ impl ShardedFront {
         let shard = self.shards.len();
         self.shards.push(Shard {
             pair,
-            requests: Vec::new(),
+            buckets: Vec::new(),
+            flat: Vec::new(),
+            flat_stale: false,
+            len: 0,
             dirty: false,
         });
         self.by_pair.insert(pair, shard);
@@ -286,22 +322,42 @@ impl ShardedFront {
 
     /// Inserts into `shard` (the request's admission-resolved shard).
     fn insert(&mut self, shard: usize, req: RemoteRequest) {
-        let requests = &mut self.shards[shard].requests;
-        let pos = requests
-            .binary_search_by(|r| request_order(r, req.priority, req.key))
+        let s = &mut self.shards[shard];
+        let slot = match s.buckets.binary_search_by(|&(p, _)| req.priority.cmp(&p)) {
+            Ok(slot) => slot,
+            Err(slot) => {
+                s.buckets.insert(slot, (req.priority, Vec::new()));
+                slot
+            }
+        };
+        let bucket = &mut s.buckets[slot].1;
+        let pos = bucket
+            .binary_search_by(|r| r.key.cmp(&req.key))
             .expect_err("request keys are unique while pending");
-        requests.insert(pos, req);
+        bucket.insert(pos, req);
+        s.len += 1;
+        s.flat_stale = true;
         self.len += 1;
         self.mark_dirty(shard);
     }
 
     /// Removes from `shard` (the request's admission-resolved shard).
     fn remove(&mut self, shard: usize, priority: usize, key: u64) {
-        let requests = &mut self.shards[shard].requests;
-        let pos = requests
-            .binary_search_by(|r| request_order(r, priority, key))
+        let s = &mut self.shards[shard];
+        let slot = s
+            .buckets
+            .binary_search_by(|&(p, _)| priority.cmp(&p))
             .expect("allocated request was pending");
-        requests.remove(pos);
+        let bucket = &mut s.buckets[slot].1;
+        let pos = bucket
+            .binary_search_by(|r| r.key.cmp(&key))
+            .expect("allocated request was pending");
+        bucket.remove(pos);
+        if bucket.is_empty() {
+            s.buckets.remove(slot);
+        }
+        s.len -= 1;
+        s.flat_stale = true;
         self.len -= 1;
         self.mark_dirty(shard);
     }
@@ -1021,6 +1077,9 @@ impl<'a> Executor<'a> {
                 std::mem::replace(&mut front.dirty, std::mem::take(&mut self.visited_scratch));
             for &shard in &visited {
                 front.shards[shard].dirty = false;
+                // Catch a stale flat view up with the buckets: once per
+                // visit, however many membership changes accumulated.
+                front.shards[shard].refresh_flat();
             }
             visited
         };
@@ -1039,11 +1098,11 @@ impl<'a> Executor<'a> {
                     // the others — skip it before the merge. It
                     // settles clean like any barren visit and is
                     // re-dirtied the moment that endpoint frees.
-                    !shard.requests.is_empty()
+                    shard.len > 0
                         && comm_free[shard.pair.0.index()] > 0
                         && comm_free[shard.pair.1.index()] > 0
                 })
-                .map(|shard| shard.requests.as_slice())
+                .map(|shard| shard.flat.as_slice())
                 .collect();
             if shards.is_empty() {
                 // Every visited shard drained or starved: settled.

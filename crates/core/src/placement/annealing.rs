@@ -4,6 +4,7 @@
 
 use super::cost::communication_cost;
 use super::random::RandomPlacement;
+use super::repair::MoveKernel;
 use super::{check_total_capacity, Placement, PlacementAlgorithm};
 use crate::error::PlacementError;
 use cloudqc_circuit::Circuit;
@@ -58,10 +59,9 @@ impl PlacementAlgorithm for AnnealingPlacement {
 
         let initial = RandomPlacement.place(circuit, cloud, status, seed)?;
         let mut assignment: Vec<QpuId> = initial.assignment().to_vec();
-        let mut load = initial.qpu_demand(n);
-        let free: Vec<usize> = (0..n)
-            .map(|i| status.free_computing(QpuId::new(i)))
-            .collect();
+        // All capacity bookkeeping lives in the shared move kernel; the
+        // annealer only proposes, scores, and accepts.
+        let mut kernel = MoveKernel::against(&assignment, status);
 
         let mut current_cost = communication_cost(circuit, &initial, cloud);
         let mut best = assignment.clone();
@@ -102,7 +102,7 @@ impl PlacementAlgorithm for AnnealingPlacement {
             } else {
                 let q1 = rng.random_range(0..size);
                 let to = rng.random_range(0..n);
-                if assignment[q1].index() == to || load[to] >= free[to] {
+                if assignment[q1].index() == to || !kernel.has_headroom(to) {
                     temperature *= self.cooling;
                     continue;
                 }
@@ -120,15 +120,15 @@ impl PlacementAlgorithm for AnnealingPlacement {
                 touching[q1].clone()
             };
             let before: f64 = affected.iter().map(|&gi| gate_cost(&assignment, gi)).sum();
-            let old1 = assignment[q1];
-            let old2;
+            // Apply through the kernel: a swap is its own inverse, and
+            // relocating back to the just-vacated QPU always succeeds,
+            // so a rejected proposal reverts through the same moves.
+            let from = assignment[q1].index();
             if is_swap {
-                old2 = assignment[q2_or_target];
-                assignment[q1] = old2;
-                assignment[q2_or_target] = old1;
+                kernel.swap(&mut assignment, q1, q2_or_target);
             } else {
-                old2 = QpuId::new(q2_or_target);
-                assignment[q1] = old2;
+                let moved = kernel.relocate(&mut assignment, q1, q2_or_target);
+                debug_assert!(moved, "headroom was checked before proposing");
             }
             let after: f64 = affected.iter().map(|&gi| gate_cost(&assignment, gi)).sum();
             let delta = after - before;
@@ -137,22 +137,15 @@ impl PlacementAlgorithm for AnnealingPlacement {
                 || (temperature > 1e-9 && rng.random_bool((-delta / temperature).exp().min(1.0)));
             if accept {
                 current_cost += delta;
-                if !is_swap {
-                    load[old1.index()] -= 1;
-                    load[old2.index()] += 1;
-                }
                 if current_cost < best_cost {
                     best_cost = current_cost;
                     best = assignment.clone();
                 }
+            } else if is_swap {
+                kernel.swap(&mut assignment, q1, q2_or_target);
             } else {
-                // Revert.
-                if is_swap {
-                    assignment[q2_or_target] = old2;
-                    assignment[q1] = old1;
-                } else {
-                    assignment[q1] = old1;
-                }
+                let reverted = kernel.relocate(&mut assignment, q1, from);
+                debug_assert!(reverted, "the vacated QPU has headroom");
             }
             temperature *= self.cooling;
         }

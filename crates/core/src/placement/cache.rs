@@ -42,7 +42,29 @@
 //! status; a stale entry is recomputed and replaced. Capacity changes
 //! below the quantization threshold therefore cannot cause an
 //! infeasible reuse (property-tested in `tests/properties.rs`).
+//!
+//! # The incremental-repair tier
+//!
+//! With [`PlacementCache::with_repair`] enabled (default off), an
+//! exact-signature miss gets one more chance before the full pipeline
+//! runs: a *near-miss* lookup for an entry with the same fingerprint
+//! and seed whose quantized free signature is within one bucket per
+//! QPU — the "same circuit, free vector drifted by a job" case. The
+//! candidate is patched by [`crate::placement::repair::repair`] (only
+//! the qubits on now-overloaded QPUs move) and reused **only** if the
+//! patched placement passes the same [`Placement::fits`] guard exact
+//! hits are re-validated with; otherwise the lookup falls through to
+//! the normal miss path. Successes count in
+//! [`CacheStats::repair_hits`] and are memoized under the exact
+//! current signature (the next identical lookup is an exact hit);
+//! failed patches count in [`CacheStats::repair_fallbacks`]. The tier
+//! never consults an RNG and picks its candidate by a deterministic
+//! total order, so schedules stay reproducible — but a repaired
+//! placement is generally *not* what the full pipeline would have
+//! computed, which is why the tier is opt-in and default-off
+//! (golden-pinned).
 
+use super::repair::repair;
 use super::{Placement, PlacementAlgorithm};
 use crate::error::PlacementError;
 use cloudqc_circuit::{Circuit, Fingerprint};
@@ -53,24 +75,34 @@ use std::collections::HashMap;
 /// in [`crate::runtime::RunReport`]).
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Lookups answered from the cache.
+    /// Lookups answered from the cache with an exact-signature entry.
     pub hits: u64,
     /// Lookups that ran the placement algorithm (including
-    /// re-validations that found a stale entry).
+    /// re-validations that found a stale entry, and near-miss repairs
+    /// that fell back).
     pub misses: u64,
     /// Entries dropped to keep the cache within its capacity.
     pub evictions: u64,
+    /// Exact misses answered by patching a near-miss entry through the
+    /// incremental-repair tier ([`PlacementCache::with_repair`]).
+    /// Disjoint from both `hits` and `misses`.
+    pub repair_hits: u64,
+    /// Near-miss candidates whose patch failed the `fits` guard, so
+    /// the lookup fell through to the full pipeline. A subset of
+    /// `misses` (every fallback is also counted there).
+    pub repair_fallbacks: u64,
 }
 
 impl CacheStats {
-    /// Hits as a fraction of all lookups (0 when nothing was looked
-    /// up).
+    /// Lookups answered from the cache (exact or repaired) as a
+    /// fraction of all lookups (0 when nothing was looked up).
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let served = self.hits + self.repair_hits;
+        let total = served + self.misses;
         if total == 0 {
             return 0.0;
         }
-        self.hits as f64 / total as f64
+        served as f64 / total as f64
     }
 
     /// The counter deltas accumulated since an `earlier` snapshot of
@@ -85,13 +117,17 @@ impl CacheStats {
         debug_assert!(
             self.hits >= earlier.hits
                 && self.misses >= earlier.misses
-                && self.evictions >= earlier.evictions,
+                && self.evictions >= earlier.evictions
+                && self.repair_hits >= earlier.repair_hits
+                && self.repair_fallbacks >= earlier.repair_fallbacks,
             "snapshot taken from a different cache"
         );
         CacheStats {
             hits: self.hits - earlier.hits,
             misses: self.misses - earlier.misses,
             evictions: self.evictions - earlier.evictions,
+            repair_hits: self.repair_hits - earlier.repair_hits,
+            repair_fallbacks: self.repair_fallbacks - earlier.repair_fallbacks,
         }
     }
 
@@ -102,6 +138,8 @@ impl CacheStats {
         self.hits += other.hits;
         self.misses += other.misses;
         self.evictions += other.evictions;
+        self.repair_hits += other.repair_hits;
+        self.repair_fallbacks += other.repair_fallbacks;
     }
 }
 
@@ -148,6 +186,9 @@ struct Slot {
 pub struct PlacementCache {
     quantum: usize,
     capacity: usize,
+    /// Whether an exact miss may be answered by patching a near-miss
+    /// entry (the incremental-repair tier; default off).
+    repair: bool,
     /// Signature → slot index. Lookup only — iteration order is never
     /// observed, so the map cannot perturb determinism.
     map: HashMap<CacheKey, usize>,
@@ -195,6 +236,7 @@ impl PlacementCache {
         PlacementCache {
             quantum,
             capacity: Self::DEFAULT_CAPACITY,
+            repair: false,
             map: HashMap::new(),
             slots: Vec::new(),
             free: Vec::new(),
@@ -220,6 +262,23 @@ impl PlacementCache {
             self.free.push(slot);
         }
         self
+    }
+
+    /// Enables (or disables) the incremental-repair tier: an
+    /// exact-signature miss may be answered by patching a near-miss
+    /// entry (same fingerprint and seed, free signature within one
+    /// bucket per QPU) through [`crate::placement::repair::repair`],
+    /// guarded by [`Placement::fits`]. Default off — repaired
+    /// placements can differ from what the full pipeline would return,
+    /// so the tier is opt-in (see the module docs).
+    pub fn with_repair(mut self, repair: bool) -> Self {
+        self.repair = repair;
+        self
+    }
+
+    /// Whether the incremental-repair tier is enabled.
+    pub fn repair_enabled(&self) -> bool {
+        self.repair
     }
 
     /// The free-capacity bucket size of this cache's signature.
@@ -455,10 +514,74 @@ impl PlacementCache {
                 return self.slots[slot].value.clone();
             }
         }
+        if self.repair {
+            if let Some(candidate) = self.best_near_miss(&key) {
+                if let Some(patched) = repair(&candidate, status) {
+                    self.stats.repair_hits += 1;
+                    let result = Ok(patched);
+                    // Memoized under the exact current signature: the
+                    // next identical lookup is an exact hit.
+                    self.insert(key, result.clone());
+                    return result;
+                }
+                self.stats.repair_fallbacks += 1;
+            }
+        }
         self.stats.misses += 1;
         let result = compute();
         self.insert(key, result.clone());
         result
+    }
+
+    /// The best near-miss candidate for `key`: a memoized *success*
+    /// with the same fingerprint and seed whose quantized free
+    /// signature is within one bucket of `key`'s on every QPU. A stale
+    /// exact entry (same signature, no longer fitting) qualifies at
+    /// distance zero — with a coarse quantum that is the
+    /// drifted-within-a-bucket case.
+    ///
+    /// The scan walks the whole map (O(len) — cheap next to the full
+    /// pipeline the tier is trying to skip) and the map's iteration
+    /// order is unspecified, so the winner is chosen by a
+    /// deterministic total order: minimal total bucket distance, then
+    /// lexicographically smallest signature (unique per fingerprint ×
+    /// seed, so the order is total and the scan order cannot leak into
+    /// schedules).
+    fn best_near_miss(&self, key: &CacheKey) -> Option<Placement> {
+        let mut best: Option<(usize, &CacheKey, &Placement)> = None;
+        for (candidate, &slot) in &self.map {
+            if candidate.fingerprint != key.fingerprint
+                || candidate.seed != key.seed
+                || candidate.free_signature.len() != key.free_signature.len()
+            {
+                continue;
+            }
+            let adjacent = candidate
+                .free_signature
+                .iter()
+                .zip(&key.free_signature)
+                .all(|(&a, &b)| a.abs_diff(b) <= 1);
+            if !adjacent {
+                continue;
+            }
+            let Ok(placement) = &self.slots[slot].value else {
+                continue;
+            };
+            let distance: usize = candidate
+                .free_signature
+                .iter()
+                .zip(&key.free_signature)
+                .map(|(&a, &b)| a.abs_diff(b))
+                .sum();
+            let better = match &best {
+                None => true,
+                Some((d, k, _)) => (distance, &candidate.free_signature) < (*d, &k.free_signature),
+            };
+            if better {
+                best = Some((distance, candidate, placement));
+            }
+        }
+        best.map(|(_, _, placement)| placement.clone())
     }
 }
 
@@ -489,7 +612,8 @@ mod tests {
             CacheStats {
                 hits: 1,
                 misses: 1,
-                evictions: 0
+                evictions: 0,
+                ..CacheStats::default()
             }
         );
         assert_eq!(cache.len(), 1);
@@ -511,7 +635,8 @@ mod tests {
             CacheStats {
                 hits: 0,
                 misses: 3,
-                evictions: 0
+                evictions: 0,
+                ..CacheStats::default()
             }
         );
     }
@@ -531,7 +656,8 @@ mod tests {
             CacheStats {
                 hits: 1,
                 misses: 1,
-                evictions: 0
+                evictions: 0,
+                ..CacheStats::default()
             }
         );
     }
@@ -563,6 +689,7 @@ mod tests {
             hits: 3,
             misses: 1,
             evictions: 0,
+            ..CacheStats::default()
         };
         assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
@@ -697,5 +824,131 @@ mod tests {
                 .unwrap();
         }
         assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn repair_tier_patches_a_near_miss() {
+        // The stub parks both qubits on QPU 0. Cache that at full
+        // capacity, then take one qubit of QPU 0 away: the signature
+        // moves one bucket, the cached placement no longer fits, and
+        // the repair tier must reseat exactly one qubit onto QPU 1 —
+        // without running the supplier.
+        let cloud = CloudBuilder::new(2).computing_qubits(2).build();
+        let algo = StubPlacement;
+        let circuit = Circuit::new(2);
+        let fp = circuit.fingerprint();
+        let mut cache = PlacementCache::new().with_repair(true);
+        assert!(cache.repair_enabled());
+        let full = cloud.status();
+        let cold = cache
+            .place_fingerprinted(fp, &algo, &circuit, &cloud, &full, 1)
+            .unwrap();
+        assert_eq!(cold.qpu_demand(2), vec![2, 0]);
+        let mut tight = cloud.status();
+        tight.allocate_computing(QpuId::new(0), 1).unwrap();
+        let repaired = cache
+            .place_with(fp, "stub", 2, &tight, 1, || {
+                panic!("a repaired near-miss must not run the pipeline")
+            })
+            .unwrap();
+        assert!(repaired.fits(&tight));
+        assert_eq!(repaired.qpu_demand(2), vec![1, 1]);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                misses: 1,
+                repair_hits: 1,
+                ..CacheStats::default()
+            }
+        );
+        // The repaired result was memoized under the exact signature:
+        // the same lookup again is a plain hit.
+        let warm = cache
+            .place_fingerprinted(fp, &algo, &circuit, &cloud, &tight, 1)
+            .unwrap();
+        assert_eq!(warm, repaired);
+        assert_eq!(cache.stats().hits, 1);
+        // Deterministic: an identical cache answers identically.
+        let mut replay = PlacementCache::new().with_repair(true);
+        replay
+            .place_fingerprinted(fp, &algo, &circuit, &cloud, &full, 1)
+            .unwrap();
+        let again = replay
+            .place_fingerprinted(fp, &algo, &circuit, &cloud, &tight, 1)
+            .unwrap();
+        assert_eq!(again, repaired);
+    }
+
+    #[test]
+    fn repair_fallback_runs_the_pipeline_when_unpatchable() {
+        // One QPU: once capacity shrinks there is nowhere to reseat,
+        // so the near-miss candidate must fall back to the supplier.
+        let cloud = CloudBuilder::new(1).computing_qubits(2).build();
+        let algo = StubPlacement;
+        let circuit = Circuit::new(2);
+        let fp = circuit.fingerprint();
+        let mut cache = PlacementCache::new().with_repair(true);
+        let full = cloud.status();
+        cache
+            .place_fingerprinted(fp, &algo, &circuit, &cloud, &full, 4)
+            .unwrap();
+        let mut tight = cloud.status();
+        tight.allocate_computing(QpuId::new(0), 1).unwrap();
+        cache
+            .place_fingerprinted(fp, &algo, &circuit, &cloud, &tight, 4)
+            .unwrap();
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                misses: 2,
+                repair_fallbacks: 1,
+                ..CacheStats::default()
+            }
+        );
+    }
+
+    #[test]
+    fn repair_off_by_default_never_touches_near_misses() {
+        let cloud = CloudBuilder::new(2).computing_qubits(2).build();
+        let algo = StubPlacement;
+        let circuit = Circuit::new(2);
+        let fp = circuit.fingerprint();
+        let mut cache = PlacementCache::new();
+        assert!(!cache.repair_enabled());
+        cache
+            .place_fingerprinted(fp, &algo, &circuit, &cloud, &cloud.status(), 1)
+            .unwrap();
+        let mut tight = cloud.status();
+        tight.allocate_computing(QpuId::new(0), 1).unwrap();
+        cache
+            .place_fingerprinted(fp, &algo, &circuit, &cloud, &tight, 1)
+            .unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.repair_hits, 0);
+        assert_eq!(stats.repair_fallbacks, 0);
+    }
+
+    #[test]
+    fn repair_stats_flow_through_since_merge_and_hit_rate() {
+        let earlier = CacheStats {
+            hits: 2,
+            misses: 2,
+            repair_hits: 1,
+            repair_fallbacks: 1,
+            ..CacheStats::default()
+        };
+        let mut later = earlier;
+        later.merge(&CacheStats {
+            hits: 1,
+            misses: 1,
+            repair_hits: 2,
+            ..CacheStats::default()
+        });
+        let delta = later.since(&earlier);
+        assert_eq!(delta.repair_hits, 2);
+        assert_eq!(delta.repair_fallbacks, 0);
+        // hit_rate counts repaired lookups as served: (3 + 3) / 9.
+        assert!((later.hit_rate() - 6.0 / 9.0).abs() < 1e-12);
     }
 }

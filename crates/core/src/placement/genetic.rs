@@ -2,6 +2,7 @@
 
 use super::cost::communication_cost;
 use super::random::RandomPlacement;
+use super::repair::MoveKernel;
 use super::{check_total_capacity, Placement, PlacementAlgorithm};
 use crate::error::PlacementError;
 use cloudqc_circuit::Circuit;
@@ -121,27 +122,15 @@ fn mutate(genome: &mut [QpuId], qpu_count: usize, rate: f64, rng: &mut StdRng) {
     }
 }
 
-/// Moves qubits off overloaded QPUs onto random QPUs with headroom.
+/// Moves qubits off overloaded QPUs onto random QPUs with headroom —
+/// the shared [`MoveKernel::reseat`] move with a random scan start.
 fn repair_capacity(genome: &mut [QpuId], free: &[usize], rng: &mut StdRng) {
     let n = free.len();
-    let mut load = vec![0usize; n];
-    for q in genome.iter() {
-        load[q.index()] += 1;
-    }
-    for slot in genome.iter_mut() {
-        let qpu = slot.index();
-        if load[qpu] > free[qpu] {
-            // Relocate to a random QPU with headroom.
-            let target = (0..n)
-                .cycle()
-                .skip(rng.random_range(0..n))
-                .take(n)
-                .find(|&t| load[t] < free[t]);
-            if let Some(t) = target {
-                load[qpu] -= 1;
-                load[t] += 1;
-                *slot = QpuId::new(t);
-            }
+    let mut kernel = MoveKernel::new(genome, free.to_vec());
+    for q in 0..genome.len() {
+        if kernel.is_overloaded(genome[q].index()) {
+            let start = rng.random_range(0..n);
+            kernel.reseat(genome, q, start);
         }
     }
 }

@@ -24,6 +24,7 @@ pub mod estimate;
 mod find_placement;
 mod genetic;
 mod random;
+pub mod repair;
 pub mod score;
 
 pub use annealing::AnnealingPlacement;
@@ -33,6 +34,7 @@ pub use cloudqc::CloudQcPlacement;
 pub use find_placement::{find_placement, FindPlacementMode};
 pub use genetic::GeneticPlacement;
 pub use random::RandomPlacement;
+pub use repair::{repair, MoveKernel};
 
 use crate::error::PlacementError;
 use cloudqc_circuit::Circuit;

@@ -71,6 +71,7 @@ impl<'a> ServiceBuilder<'a> {
                 placement_cache: true,
                 cache_quantum: 1,
                 cache_capacity: PlacementCache::DEFAULT_CAPACITY,
+                placement_repair: false,
                 batched_allocation: true,
                 sharded_front_layer: true,
                 fingerprint_seeding: true,
@@ -138,6 +139,27 @@ impl<'a> ServiceBuilder<'a> {
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
         self.cfg.cache_capacity = capacity;
+        self
+    }
+
+    /// Enables the placement cache's incremental-repair tier (off by
+    /// default; see [`PlacementCache::with_repair`]). On an exact-key
+    /// miss, the cache looks for a placement of the same circuit and
+    /// seed cached under an *adjacent* free-capacity bucket (every
+    /// per-QPU bucket within ±1) and patches it with
+    /// [`crate::placement::repair()`] — relocating only the qubits on
+    /// now-overloaded QPUs — instead of re-running the full placement
+    /// pipeline. Every repaired placement passes the same
+    /// [`crate::placement::Placement::fits`] guard as an exact hit, and
+    /// an unpatchable near-miss falls through to a full placement, so
+    /// feasibility is never weakened; like a coarse
+    /// [`ServiceBuilder::cache_quantum`], reuse under a *shifted*
+    /// capacity vector can pick different (never infeasible) placements
+    /// than a cold run, which is why the tier is opt-in. Repairs and
+    /// fallbacks are counted separately in
+    /// [`crate::placement::CacheStats`].
+    pub fn placement_repair(mut self, enabled: bool) -> Self {
+        self.cfg.placement_repair = enabled;
         self
     }
 

@@ -155,6 +155,7 @@ pub struct FleetReport {
 pub struct FleetBuilder<'a> {
     backends: Vec<ServiceBuilder<'a>>,
     policy: Box<dyn RoutingPolicy>,
+    placement_repair: Option<bool>,
 }
 
 impl Default for FleetBuilder<'_> {
@@ -169,6 +170,7 @@ impl<'a> FleetBuilder<'a> {
         FleetBuilder {
             backends: Vec::new(),
             policy: Box::new(UtilizationBalanced),
+            placement_repair: None,
         }
     }
 
@@ -193,6 +195,19 @@ impl<'a> FleetBuilder<'a> {
         self
     }
 
+    /// Sets the placement cache's incremental-repair tier on *every*
+    /// backend at build time (see [`ServiceBuilder::placement_repair`];
+    /// off by default). A fleet-level override because routing probes
+    /// are where near-misses concentrate: each probe of a busy backend
+    /// sees a slightly different free-capacity vector, so a repaired
+    /// near-miss lets the probe reuse the cached placement instead of
+    /// re-running the pipeline. Backends keep their own setting when
+    /// this is never called.
+    pub fn placement_repair(mut self, enabled: bool) -> Self {
+        self.placement_repair = Some(enabled);
+        self
+    }
+
     /// Builds the fleet.
     ///
     /// # Panics
@@ -200,12 +215,16 @@ impl<'a> FleetBuilder<'a> {
     /// Panics if no backend was added.
     pub fn build(self) -> Fleet<'a> {
         assert!(!self.backends.is_empty(), "a fleet needs a backend");
+        let repair = self.placement_repair;
         Fleet {
             backends: self
                 .backends
                 .into_iter()
                 .map(|builder| Backend {
-                    service: builder.build(),
+                    service: match repair {
+                        Some(enabled) => builder.placement_repair(enabled).build(),
+                        None => builder.build(),
+                    },
                     up: true,
                     routed: Vec::new(),
                 })
@@ -304,9 +323,11 @@ impl<'a> Fleet<'a> {
         self.jobs.len() as u64 - self.completed - self.rejected
     }
 
-    /// Jobs parked with no eligible backend (every backend down or
-    /// already rejected them); they re-route automatically on the next
-    /// drive or recovery.
+    /// Jobs parked with no eligible backend while at least one backend
+    /// is down (a recovery may open a path); they re-route
+    /// automatically on the next drive or recovery. A job every backend
+    /// in the fleet has *rejected* is not an orphan — it is finally
+    /// rejected with the last error.
     pub fn orphans(&self) -> usize {
         self.orphans.len()
     }
@@ -489,10 +510,18 @@ impl<'a> Fleet<'a> {
                             rerouted_any = true;
                             continue;
                         }
-                        // Orphaned (nowhere left to go while some
-                        // backend is down): stays unresolved, not
-                        // rejected — a recovery may still run it.
-                        continue;
+                        // Nowhere left to go. While a *downed* backend
+                        // has not yet rejected this job, it stays an
+                        // orphan — a recovery may still run it.
+                        let attempted = &self.jobs[id].attempted;
+                        if (0..self.backends.len()).any(|b| !attempted.contains(&b)) {
+                            continue;
+                        }
+                        // Every backend in the fleet has turned it
+                        // away; recovery cannot open a new path, so the
+                        // job is finally rejected with the last error
+                        // (`route_job` just parked it — unpark).
+                        self.orphans.retain(|&orphan| orphan != id);
                     }
                     self.jobs[id].state = JobState::Rejected;
                     self.rejected += 1;

@@ -283,6 +283,12 @@ impl<'a> Orchestrator<'a> {
         self.rebuild(|b| b.load_shedding(policy))
     }
 
+    /// Legacy wrapper for [`ServiceBuilder::placement_repair`].
+    #[doc(hidden)]
+    pub fn with_placement_repair(self, enabled: bool) -> Self {
+        self.rebuild(|b| b.placement_repair(enabled))
+    }
+
     /// Turns this configuration into a resident [`Service`]: the same
     /// event loop, but with a placement cache that stays warm across
     /// epochs and streaming metrics instead of retained outcomes. Every

@@ -27,13 +27,18 @@
 //! probes go through the per-backend caches, so steady-state probing is
 //! mostly cache hits.
 
+use crate::error::PlacementError;
 use crate::placement::cost::communication_cost;
+use crate::placement::Placement;
+use crate::runtime::service::ProbeSnapshot;
 use crate::runtime::Service;
 use crate::workload::WorkloadJob;
 use cloudqc_sim::{SimRng, Tick};
 use rand::rngs::StdRng;
 use rand::RngExt;
+use scoped_threadpool::Pool;
 use std::collections::HashMap;
+use std::fmt;
 
 /// What a routing decision gets to look at: the healthy backends still
 /// eligible for this job (a re-route excludes backends that already
@@ -121,11 +126,29 @@ impl<'f, 'a> RouteContext<'f, 'a> {
             .expect("candidates are never empty")
     }
 
+    /// Every candidate's backlog summed: jobs pending or waiting for
+    /// admission across the whole candidate set. The congestion signal
+    /// [`CheapestPlacement::with_probe_budget`] gates its probes on —
+    /// when the fleet is this far behind, a per-candidate placement
+    /// probe buys little (queueing dominates) and costs the most.
+    pub fn total_backlog(&self) -> usize {
+        self.candidates
+            .iter()
+            .map(|(_, svc)| svc.pending() + svc.queue_depth())
+            .sum()
+    }
+
     /// Speculatively places `job` on backend `id` (through its
     /// placement cache, against its live ledger — see
     /// `Service::probe_place`) and scores the placement by the paper's
     /// communication-cost objective. `None` when the backend cannot
     /// place the job right now.
+    ///
+    /// A *repaired* near-miss counts as a probe hit like any other
+    /// cache reuse: when the backend's cache runs the incremental
+    /// repair tier (see `ServiceBuilder::placement_repair`), a probe
+    /// whose exact signature misses but whose neighbour patches cleanly
+    /// scores the repaired placement without re-running the pipeline.
     pub fn placement_cost(&mut self, id: usize, job: &WorkloadJob) -> Option<f64> {
         let svc = self
             .candidates
@@ -135,6 +158,55 @@ impl<'f, 'a> RouteContext<'f, 'a> {
             .expect("id comes from candidate_ids");
         let placement = svc.probe_place(job).ok()?;
         Some(communication_cost(&job.circuit, &placement, svc.cloud()))
+    }
+
+    /// All candidates' [`RouteContext::placement_cost`]s at once, with
+    /// the pure placement runs fanned out on `pool` — the engine's
+    /// speculative-admission pattern applied to routing probes.
+    ///
+    /// Three phases keep it byte-identical to probing each candidate
+    /// serially, in id order, at any worker count: a serial snapshot of
+    /// every candidate's probe inputs (`Service::probe_snapshot` — pure
+    /// reads, and candidates are distinct services, so snapshotting
+    /// first changes nothing), a parallel fan-out of the placement runs
+    /// (pure functions of the snapshots), and a serial commit in
+    /// candidate order through each backend's cache
+    /// (`Service::probe_commit` — the same lookup pipeline a serial
+    /// probe runs, with the precomputed result as the miss supplier, so
+    /// cache stats and entries come out identical).
+    pub(crate) fn placement_costs_parallel(
+        &mut self,
+        job: &WorkloadJob,
+        pool: &mut Pool,
+    ) -> Vec<Option<f64>> {
+        let snapshots: Vec<ProbeSnapshot> = self
+            .candidates
+            .iter()
+            .map(|(_, svc)| svc.probe_snapshot(job))
+            .collect();
+        let mut computed: Vec<Option<Result<Placement, PlacementError>>> =
+            (0..snapshots.len()).map(|_| None).collect();
+        pool.scoped(|scope| {
+            for ((slot, snap), (_, svc)) in
+                computed.iter_mut().zip(&snapshots).zip(&self.candidates)
+            {
+                let algorithm = svc.placement_algorithm();
+                let cloud = svc.cloud();
+                scope.execute(move || {
+                    *slot = Some(algorithm.place(&job.circuit, cloud, &snap.status, snap.seed));
+                });
+            }
+        });
+        computed
+            .into_iter()
+            .zip(snapshots)
+            .zip(self.candidates.iter_mut())
+            .map(|((result, snap), (_, svc))| {
+                let computed = result.expect("the pool joins every probe");
+                let placement = svc.probe_commit(&snap, computed).ok()?;
+                Some(communication_cost(&job.circuit, &placement, svc.cloud()))
+            })
+            .collect()
     }
 }
 
@@ -161,9 +233,82 @@ pub trait RoutingPolicy {
 /// The probe per candidate runs the backend's real placement pipeline
 /// through its [`crate::placement::PlacementCache`], so the decision
 /// pays the pipeline cost only on cache-cold (shape, free-capacity)
-/// signatures.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct CheapestPlacement;
+/// signatures — and with the cache's repair tier on, a near-miss
+/// signature patches instead of recomputing (see
+/// [`RouteContext::placement_cost`]).
+///
+/// Two knobs bound what a decision costs:
+///
+/// * [`CheapestPlacement::with_worker_threads`] (default: the
+///   `CLOUDQC_THREADS` environment variable, like every other runtime
+///   pool) fans the per-candidate placement runs out on a scoped
+///   worker pool. Routes are byte-identical at every worker count.
+/// * [`CheapestPlacement::with_probe_budget`] (default: unbounded)
+///   skips probing entirely while the candidates' summed backlog
+///   ([`RouteContext::total_backlog`]) exceeds the budget, falling
+///   back to [`UtilizationBalanced`]'s least-loaded choice — under
+///   that much queueing the placement signal is stale by the time the
+///   job admits, so the router stops paying for it.
+pub struct CheapestPlacement {
+    workers: usize,
+    probe_budget: Option<usize>,
+    /// Lazily built on the first parallel decision; never cloned.
+    pool: Option<Pool>,
+}
+
+impl CheapestPlacement {
+    /// A probe-everything router with worker threads from
+    /// `CLOUDQC_THREADS` (see [`crate::runtime::env_worker_threads`]).
+    pub fn new() -> Self {
+        CheapestPlacement {
+            workers: crate::runtime::env_worker_threads(),
+            probe_budget: None,
+            pool: None,
+        }
+    }
+
+    /// Sets the worker-thread count for the per-candidate probe fan-out
+    /// (clamped to ≥ 1; 1 = fully serial, and no pool is ever built).
+    pub fn with_worker_threads(mut self, threads: usize) -> Self {
+        self.workers = threads.max(1);
+        self.pool = None;
+        self
+    }
+
+    /// Sets the probe budget: while the candidates' summed backlog
+    /// (pending + waiting jobs, [`RouteContext::total_backlog`])
+    /// exceeds `backlog`, decisions skip the placement probes and route
+    /// least-loaded instead.
+    pub fn with_probe_budget(mut self, backlog: usize) -> Self {
+        self.probe_budget = Some(backlog);
+        self
+    }
+}
+
+impl Default for CheapestPlacement {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for CheapestPlacement {
+    fn clone(&self) -> Self {
+        CheapestPlacement {
+            workers: self.workers,
+            probe_budget: self.probe_budget,
+            pool: None,
+        }
+    }
+}
+
+impl fmt::Debug for CheapestPlacement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CheapestPlacement")
+            .field("workers", &self.workers)
+            .field("probe_budget", &self.probe_budget)
+            .finish()
+    }
+}
 
 impl RoutingPolicy for CheapestPlacement {
     fn name(&self) -> &'static str {
@@ -171,15 +316,25 @@ impl RoutingPolicy for CheapestPlacement {
     }
 
     fn route(&mut self, job: &WorkloadJob, ctx: &mut RouteContext<'_, '_>) -> usize {
-        let mut best: Option<(f64, usize)> = None;
-        for id in ctx.candidate_ids() {
-            let Some(cost) = ctx.placement_cost(id, job) else {
-                continue;
-            };
-            if best.is_none_or(|(c, _)| cost < c) {
-                best = Some((cost, id));
+        if let Some(budget) = self.probe_budget {
+            if ctx.total_backlog() > budget {
+                return ctx.least_loaded();
             }
         }
+        let ids = ctx.candidate_ids();
+        let costs: Vec<Option<f64>> = if self.workers >= 2 && ids.len() >= 2 {
+            let pool = self
+                .pool
+                .get_or_insert_with(|| Pool::new(self.workers as u32));
+            ctx.placement_costs_parallel(job, pool)
+        } else {
+            ids.iter().map(|&id| ctx.placement_cost(id, job)).collect()
+        };
+        let best = ids
+            .iter()
+            .zip(&costs)
+            .filter_map(|(&id, cost)| cost.map(|c| (c, id)))
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         match best {
             Some((_, id)) => id,
             None => ctx.least_loaded(),
@@ -362,7 +517,78 @@ mod tests {
         let mut a = ServiceBuilder::new(&one_qpu, &placement, &CloudQcScheduler, 3).build();
         let mut b = ServiceBuilder::new(&split, &placement, &CloudQcScheduler, 3).build();
         let mut ctx = RouteContext::new(vec![(0, &mut a), (1, &mut b)]);
-        assert_eq!(CheapestPlacement.route(&job(), &mut ctx), 0);
+        assert_eq!(CheapestPlacement::new().route(&job(), &mut ctx), 0);
+    }
+
+    #[test]
+    fn probe_budget_skips_probing_under_backlog() {
+        // Backend 0 would win every probe (single QPU, zero comm cost)
+        // but carries the backlog; over budget the router must not
+        // probe at all and route least-loaded instead.
+        let one_qpu = CloudBuilder::new(1).computing_qubits(40).build();
+        let split = CloudBuilder::new(4)
+            .computing_qubits(10)
+            .line_topology()
+            .build();
+        let placement = CloudQcPlacement::default();
+        let mut a = ServiceBuilder::new(&one_qpu, &placement, &CloudQcScheduler, 3).build();
+        let mut b = ServiceBuilder::new(&split, &placement, &CloudQcScheduler, 3).build();
+        for _ in 0..3 {
+            a.submit(catalog::by_name("vqe_n4").unwrap(), Tick::ZERO);
+        }
+        let mut policy = CheapestPlacement::new().with_probe_budget(2);
+        let mut ctx = RouteContext::new(vec![(0, &mut a), (1, &mut b)]);
+        assert_eq!(ctx.total_backlog(), 3);
+        assert_eq!(policy.route(&job(), &mut ctx), 1, "least-loaded fallback");
+        drop(ctx);
+        assert_eq!(
+            a.cache_stats().misses + b.cache_stats().misses,
+            0,
+            "over budget no backend was probed"
+        );
+        // Under the budget the probes run again and the cheap backend
+        // wins despite its longer queue.
+        let mut roomy = CheapestPlacement::new().with_probe_budget(8);
+        let mut ctx = RouteContext::new(vec![(0, &mut a), (1, &mut b)]);
+        assert_eq!(roomy.route(&job(), &mut ctx), 0);
+    }
+
+    #[test]
+    fn parallel_probes_match_serial_routes_and_cache_stats() {
+        // The same decision sequence at 1 and 4 probe workers must pick
+        // the same backends and leave byte-identical cache stats on
+        // every backend (the parallel fan-out commits through the same
+        // cache pipeline in the same order).
+        let clouds = clouds();
+        let placement = CloudQcPlacement::default();
+        let jobs: Vec<WorkloadJob> = ["qft_n29", "ghz_n40", "qft_n29", "ising_n34"]
+            .iter()
+            .map(|n| WorkloadJob::new(catalog::by_name(n).unwrap(), Tick::ZERO))
+            .collect();
+        let run = |workers: usize| {
+            let mut services: Vec<Service> = clouds
+                .iter()
+                .map(|c| ServiceBuilder::new(c, &placement, &CloudQcScheduler, 3).build())
+                .collect();
+            let mut policy = CheapestPlacement::new().with_worker_threads(workers);
+            let routes: Vec<usize> = jobs
+                .iter()
+                .map(|j| {
+                    let mut ctx = RouteContext::new(services.iter_mut().enumerate().collect());
+                    policy.route(j, &mut ctx)
+                })
+                .collect();
+            let stats: Vec<_> = services.iter().map(|s| s.cache_stats()).collect();
+            (routes, stats)
+        };
+        let (serial_routes, serial_stats) = run(1);
+        let (parallel_routes, parallel_stats) = run(4);
+        assert_eq!(serial_routes, parallel_routes);
+        assert_eq!(serial_stats, parallel_stats);
+        assert!(
+            serial_stats.iter().any(|s| s.hits > 0),
+            "the repeated shape should warm a probe cache: {serial_stats:?}"
+        );
     }
 
     #[test]

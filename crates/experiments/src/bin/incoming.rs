@@ -124,7 +124,7 @@ fn main() {
 fn service_mode(pool: &[cloudqc_circuit::Circuit], jobs_n: usize, seed: u64) {
     const EPOCHS: usize = 4;
     println!(
-        "\nService mode: one resident Service, {EPOCHS} epochs of the same Poisson workload\n(persistent cache: per-epoch hit% warms up, outcomes never move)\n"
+        "\nService mode: one resident Service, {EPOCHS} epochs of the same Poisson workload\n(persistent cache with the incremental-repair tier: per-epoch hit% warms\nup, outcomes never move across epochs)\n"
     );
     let cloud = CloudBuilder::paper_default(SimRng::new(seed).fork("svc-topo").seed()).build();
     let placement = CloudQcPlacement::default();
@@ -132,13 +132,16 @@ fn service_mode(pool: &[cloudqc_circuit::Circuit], jobs_n: usize, seed: u64) {
     let workload = Workload::poisson(pool, jobs_n, 5_000.0, run_seed);
     let mut svc = Orchestrator::new(&cloud, &placement, &CloudQcScheduler, run_seed)
         .with_admission(AdmissionPolicy::Backfill)
+        .with_placement_repair(true)
         .into_service();
     let mut t = Table::new(vec![
         "epoch".to_string(),
         "mean JCT".to_string(),
         "cache hit%".to_string(),
         "hits".to_string(),
+        "repairs".to_string(),
         "misses".to_string(),
+        "fallbacks".to_string(),
         "evictions".to_string(),
         "scan/round".to_string(),
         "workers".to_string(),
@@ -161,7 +164,9 @@ fn service_mode(pool: &[cloudqc_circuit::Circuit], jobs_n: usize, seed: u64) {
             fmt_num(jct),
             format!("{:.0}%", 100.0 * cache.hit_rate()),
             cache.hits.to_string(),
+            cache.repair_hits.to_string(),
             cache.misses.to_string(),
+            cache.repair_fallbacks.to_string(),
             cache.evictions.to_string(),
             format!("{:.2}", report.allocation.mean_scan()),
             report.allocation.workers.to_string(),
@@ -172,12 +177,14 @@ fn service_mode(pool: &[cloudqc_circuit::Circuit], jobs_n: usize, seed: u64) {
     t.print();
     let total = svc.report();
     println!(
-        "\nLifetime: {} epochs, {} jobs completed, {} rejected; cache {} hits / {} misses / {} evictions ({} entries resident); allocation {} rounds, {} shards visited, {} requests scanned; {} worker(s): {} parallel rounds over {} components, {} admission passes speculated {} placements; online mean JCT {}, p95 {}, throughput {:.5} jobs/tick.",
+        "\nLifetime: {} epochs, {} jobs completed, {} rejected; cache {} hits / {} repaired near-misses / {} misses ({} repair fallbacks) / {} evictions ({} entries resident); allocation {} rounds, {} shards visited, {} requests scanned; {} worker(s): {} parallel rounds over {} components, {} admission passes speculated {} placements; online mean JCT {}, p95 {}, throughput {:.5} jobs/tick.",
         total.epochs,
         total.completed,
         total.rejected,
         total.placement_cache.hits,
+        total.placement_cache.repair_hits,
         total.placement_cache.misses,
+        total.placement_cache.repair_fallbacks,
         total.placement_cache.evictions,
         total.cache_entries,
         total.allocation.rounds,
@@ -227,7 +234,7 @@ fn fleet_mode(pool: &[cloudqc_circuit::Circuit], jobs_n: usize, seed: u64) {
         Workload::poisson(pool, jobs_n, 2_000.0, run_seed).assign_round_robin_tenants(&[1.0, 1.0]);
     let policies: Vec<Box<dyn RoutingPolicy>> = vec![
         Box::new(UtilizationBalanced),
-        Box::new(CheapestPlacement),
+        Box::new(CheapestPlacement::new()),
         Box::new(TenantAffinity::new()),
         Box::new(RoundRobin::new()),
         Box::new(RandomRouting::new(run_seed)),
@@ -237,6 +244,7 @@ fn fleet_mode(pool: &[cloudqc_circuit::Circuit], jobs_n: usize, seed: u64) {
         "mean JCT".to_string(),
         "p95 JCT".to_string(),
         "cache hit%".to_string(),
+        "repairs".to_string(),
         "big/ring/edge".to_string(),
         "reroutes".to_string(),
         "spills".to_string(),
@@ -265,6 +273,7 @@ fn fleet_mode(pool: &[cloudqc_circuit::Circuit], jobs_n: usize, seed: u64) {
                 run_seed,
             ))
             .boxed_policy(policy)
+            .placement_repair(true)
             .build();
         fleet.submit_workload(&workload);
         fleet.drive_for(6_000).expect("fleet warms up");
@@ -284,6 +293,7 @@ fn fleet_mode(pool: &[cloudqc_circuit::Circuit], jobs_n: usize, seed: u64) {
             fmt_num(report.online.mean_completion_time()),
             fmt_num(report.online.quantile(0.95).unwrap_or(0.0)),
             format!("{:.0}%", 100.0 * report.placement_cache.hit_rate()),
+            report.placement_cache.repair_hits.to_string(),
             report
                 .backends
                 .iter()
@@ -298,7 +308,7 @@ fn fleet_mode(pool: &[cloudqc_circuit::Circuit], jobs_n: usize, seed: u64) {
     }
     t.print();
     println!(
-        "\nEvery row survives the same mid-stream failure of the big backend:\n\"evacuated\" jobs are suspended in flight, re-routed to the survivors,\nand counted exactly once in the totals. \"reroutes\" are load-shed\nbackpressure signals honored fleet-side; \"spills\" are typed starvation\nrejections (e.g. the 2-comm-qubit edge refusing a wide split) retried\non a backend that can."
+        "\nEvery row survives the same mid-stream failure of the big backend:\n\"evacuated\" jobs are suspended in flight, re-routed to the survivors,\nand counted exactly once in the totals. \"reroutes\" are load-shed\nbackpressure signals honored fleet-side; \"spills\" are typed starvation\nrejections (e.g. the 2-comm-qubit edge refusing a wide split) retried\non a backend that can. \"repairs\" counts near-miss cache lookups the\nincremental-repair tier patched instead of re-running placement\n(merged over all backends; routing probes are the main source)."
     );
 }
 

@@ -72,7 +72,7 @@ fn main() {
     );
     let policies: Vec<Box<dyn RoutingPolicy>> = vec![
         Box::new(UtilizationBalanced),
-        Box::new(CheapestPlacement),
+        Box::new(CheapestPlacement::new()),
         Box::new(TenantAffinity::new()),
         Box::new(RoundRobin::new()),
         Box::new(RandomRouting::new(7)),

@@ -4,7 +4,7 @@
 use cloudqc::circuit::Circuit;
 use cloudqc::cloud::{Cloud, CloudBuilder};
 use cloudqc::core::placement::{
-    cost, CloudQcBfsPlacement, CloudQcPlacement, PlacementAlgorithm, PlacementCache,
+    cost, repair, CloudQcBfsPlacement, CloudQcPlacement, PlacementAlgorithm, PlacementCache,
     RandomPlacement,
 };
 use cloudqc::core::schedule::{
@@ -311,4 +311,166 @@ proptest! {
         }
         prop_assert!(cache.stats().hits + cache.stats().misses >= steps as u64);
     }
+
+    /// `placement::repair` preserves exactness by construction: for any
+    /// cached placement and any drifted free-capacity vector, a `Some`
+    /// repair always satisfies the same `fits` guard cache hits are
+    /// re-validated with, a still-fitting placement comes back
+    /// unchanged, and repairing is deterministic.
+    #[test]
+    fn repair_output_always_fits(
+        qubits in 4usize..30,
+        gates in 1usize..40,
+        shape in 0u8..3,
+        seed in any::<u64>(),
+        steps in 1usize..6,
+    ) {
+        use cloudqc::cloud::QpuId;
+        let circuit = random_circuit(qubits, gates, shape, seed);
+        let cloud = small_cloud(seed);
+        let cached = RandomPlacement
+            .place(&circuit, &cloud, &cloud.status(), seed)
+            .unwrap();
+        let mut status = cloud.status();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x517c_c1b7);
+        for _ in 0..steps {
+            // Drift the ledger away from the one the placement was made
+            // against.
+            for i in 0..cloud.qpu_count() {
+                let qpu = QpuId::new(i);
+                let free = status.free_computing(qpu);
+                let held = status.computing_capacity(qpu) - free;
+                if rng.random_range(0..2) == 0 && free > 0 {
+                    let n = rng.random_range(1..=free);
+                    status.allocate_computing(qpu, n).unwrap();
+                } else if held > 0 {
+                    let n = rng.random_range(1..=held);
+                    status.release_computing(qpu, n);
+                }
+            }
+            match repair(&cached, &status) {
+                Some(patched) => {
+                    prop_assert!(patched.fits(&status), "repair returned an unfit placement");
+                    prop_assert_eq!(patched.num_qubits(), cached.num_qubits());
+                    if cached.fits(&status) {
+                        prop_assert_eq!(&patched, &cached, "harmless drift must not be patched");
+                    }
+                    prop_assert_eq!(repair(&cached, &status), Some(patched), "repair must be pure");
+                }
+                None => prop_assert!(
+                    !cached.fits(&status),
+                    "a fitting placement must always repair (to itself)"
+                ),
+            }
+        }
+    }
+
+    /// The repair tier is byte-invisible until a near-miss actually
+    /// patches: driving the same lookup sequence through a
+    /// repair-enabled and a repair-disabled cache returns identical
+    /// results at every step where the enabled cache has repaired
+    /// nothing yet — and once it does repair, every reused placement
+    /// still fits the live status.
+    #[test]
+    fn repair_tier_without_repairs_is_byte_identical(
+        qubits in 4usize..24,
+        gates in 1usize..40,
+        shape in 0u8..3,
+        seed in any::<u64>(),
+        steps in 1usize..8,
+    ) {
+        use cloudqc::cloud::QpuId;
+        let circuit = random_circuit(qubits, gates, shape, seed);
+        let cloud = small_cloud(seed);
+        let algo = CloudQcPlacement::default();
+        let mut plain = PlacementCache::new();
+        let mut repairing = PlacementCache::new().with_repair(true);
+        let mut status = cloud.status();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+        for _ in 0..steps {
+            for i in 0..cloud.qpu_count() {
+                let qpu = QpuId::new(i);
+                let free = status.free_computing(qpu);
+                let held = status.computing_capacity(qpu) - free;
+                if rng.random_range(0..2) == 0 && free > 0 {
+                    let n = rng.random_range(1..=free.min(2));
+                    status.allocate_computing(qpu, n).unwrap();
+                } else if held > 0 {
+                    let n = rng.random_range(1..=held);
+                    status.release_computing(qpu, n);
+                }
+            }
+            let a = plain.place(&algo, &circuit, &cloud, &status, seed);
+            let b = repairing.place(&algo, &circuit, &cloud, &status, seed);
+            if repairing.stats().repair_hits == 0 {
+                prop_assert_eq!(&a, &b, "repair tier changed a non-repaired lookup");
+            }
+            if let Ok(p) = &b {
+                prop_assert!(p.fits(&status), "repair-enabled cache reused an unfit placement");
+            }
+        }
+        // Fallbacks re-run the pipeline, so they never change results —
+        // only repair hits can. The disabled cache must never count
+        // either.
+        prop_assert_eq!(plain.stats().repair_hits, 0);
+        prop_assert_eq!(plain.stats().repair_fallbacks, 0);
+    }
+}
+
+/// Golden for the repair tier through the public cache API: warm the
+/// cache, drift the status within one quantization bucket so the cached
+/// placement no longer fits, and pin that the lookup is answered by the
+/// repair tier (not the pipeline), that the patch is feasible, and that
+/// the patched entry is memoized for the next identical lookup.
+#[test]
+fn near_miss_golden_is_repaired_without_recompute() {
+    use cloudqc::core::placement::CacheStats;
+
+    let cloud = CloudBuilder::new(2)
+        .computing_qubits(4)
+        .communication_qubits(2)
+        .build();
+    let circuit = random_circuit(4, 6, 0, 11);
+    let algo = CloudQcPlacement::default();
+    // Coarse quantum: both statuses below share one signature bucket,
+    // so the stale warm entry is a distance-zero near-miss candidate.
+    let mut cache = PlacementCache::with_quantum(8).with_repair(true);
+
+    let full = cloud.status();
+    let cold = cache.place(&algo, &circuit, &cloud, &full, 7).unwrap();
+    assert!(cold.fits(&full));
+
+    // Take enough of a used QPU away that the warm placement is one
+    // qubit short there.
+    let qpu = cold.used_qpus()[0];
+    let demand = cold.qpu_demand(cloud.qpu_count())[qpu.index()];
+    let mut drifted = cloud.status();
+    let free = drifted.free_computing(qpu);
+    drifted.allocate_computing(qpu, free - demand + 1).unwrap();
+    assert!(!cold.fits(&drifted));
+
+    let patched = cache.place(&algo, &circuit, &cloud, &drifted, 7).unwrap();
+    assert!(patched.fits(&drifted));
+    assert_ne!(
+        patched, cold,
+        "an unfit warm entry cannot be returned as-is"
+    );
+    assert_eq!(
+        cache.stats(),
+        CacheStats {
+            hits: 0,
+            misses: 1,
+            evictions: 0,
+            repair_hits: 1,
+            repair_fallbacks: 0,
+        },
+        "the drifted lookup must be answered by repair, not the pipeline"
+    );
+
+    // The patch was memoized under the drifted signature: replaying the
+    // lookup is an exact hit returning the identical placement.
+    let replay = cache.place(&algo, &circuit, &cloud, &drifted, 7).unwrap();
+    assert_eq!(replay, patched);
+    assert_eq!(cache.stats().hits, 1);
+    assert_eq!(cache.stats().repair_hits, 1);
 }

@@ -35,6 +35,11 @@ fn sample_size_override() -> Option<usize> {
 
 /// Rewrites the `BENCH_JSON` file with everything recorded so far, so
 /// an interrupted bench run still leaves a valid (partial) file.
+///
+/// Six decimals (nanosecond resolution at ms units): sub-microsecond
+/// cases — the network schedulers run in hundreds of nanoseconds —
+/// must not collapse to `0.000`, which the regression gate cannot
+/// ratio against.
 fn record_json(id: &str, min_ms: f64) {
     let Ok(path) = std::env::var("BENCH_JSON") else {
         return;
@@ -44,7 +49,7 @@ fn record_json(id: &str, min_ms: f64) {
     results.push((id.to_owned(), min_ms));
     let body: Vec<String> = results
         .iter()
-        .map(|(name, ms)| format!("  {:?}: {ms:.3}", name))
+        .map(|(name, ms)| format!("  {:?}: {ms:.6}", name))
         .collect();
     let json = format!("{{\n{}\n}}\n", body.join(",\n"));
     if let Err(e) = std::fs::write(&path, json) {
