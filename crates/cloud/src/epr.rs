@@ -92,6 +92,24 @@ impl EprModel {
         rounds
     }
 
+    /// Precomputes a [`RoundSampler`] for a fixed `(pairs, quality)`
+    /// pair, hoisting the `1 - (1 - p·quality)^pairs` computation out
+    /// of per-round sampling loops.
+    ///
+    /// The sampler draws the identical RNG sequence as repeated
+    /// [`sample_round_with_quality`](Self::sample_round_with_quality)
+    /// calls — one `random_bool` draw per round, same order — so
+    /// seeded simulations replay bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quality` is outside `(0, 1]`.
+    pub fn round_sampler(&self, pairs: usize, quality: f64) -> RoundSampler {
+        RoundSampler {
+            round_prob: self.round_success_prob_with_quality(pairs, quality),
+        }
+    }
+
     /// Expected rounds until success with `pairs` parallel attempts:
     /// `1 / (1 - (1-p)^pairs)`. Used by the placement time estimator.
     ///
@@ -103,6 +121,37 @@ impl EprModel {
         } else {
             1.0 / p
         }
+    }
+}
+
+/// A precomputed round sampler for one `(pairs, quality)` combination.
+///
+/// Built by [`EprModel::round_sampler`]. The executor's `RoundDone`
+/// fast path constructs one sampler per event and batch-samples all of
+/// the event's rounds through it, instead of recomputing the `powi`
+/// round-success formula on every draw.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct RoundSampler {
+    round_prob: f64,
+}
+
+impl RoundSampler {
+    /// The precomputed round success probability.
+    pub fn round_prob(&self) -> f64 {
+        self.round_prob
+    }
+
+    /// Samples whether one round succeeds — exactly one RNG draw,
+    /// identical to [`EprModel::sample_round_with_quality`].
+    pub fn sample(&self, rng: &mut StdRng) -> bool {
+        self.round_prob > 0.0 && rng.random_bool(self.round_prob)
+    }
+
+    /// Samples `rounds` consecutive rounds and returns how many
+    /// succeeded. Draws exactly `rounds` `random_bool`s in order, so
+    /// the RNG stream matches a per-round sampling loop bit-for-bit.
+    pub fn sample_attempts(&self, rounds: u64, rng: &mut StdRng) -> u64 {
+        (0..rounds).filter(|_| self.sample(rng)).count() as u64
     }
 }
 
@@ -196,5 +245,49 @@ mod tests {
     #[should_panic(expected = "link quality")]
     fn bad_quality_rejected() {
         EprModel::default().round_success_prob_with_quality(1, 1.5);
+    }
+
+    #[test]
+    fn sampler_matches_per_round_loop_bit_for_bit() {
+        let m = EprModel::new(0.3);
+        for &(pairs, quality, rounds) in &[(1usize, 1.0f64, 50u64), (3, 0.8, 200), (7, 0.45, 1000)]
+        {
+            let mut slow_rng = StdRng::seed_from_u64(42);
+            let slow = (0..rounds)
+                .filter(|_| m.sample_round_with_quality(pairs, quality, &mut slow_rng))
+                .count() as u64;
+            let mut fast_rng = StdRng::seed_from_u64(42);
+            let sampler = m.round_sampler(pairs, quality);
+            let fast = sampler.sample_attempts(rounds, &mut fast_rng);
+            assert_eq!(slow, fast);
+            // The streams must stay aligned after the batch, too.
+            assert_eq!(
+                slow_rng.random_bool(0.5),
+                fast_rng.random_bool(0.5),
+                "RNG streams diverged after batch sampling"
+            );
+        }
+    }
+
+    #[test]
+    fn sampler_precomputes_round_probability() {
+        let m = EprModel::new(0.3);
+        let sampler = m.round_sampler(4, 0.9);
+        assert_eq!(
+            sampler.round_prob(),
+            m.round_success_prob_with_quality(4, 0.9)
+        );
+        // Zero pairs: probability 0, no RNG draws at all.
+        let mut rng = StdRng::seed_from_u64(1);
+        let zero = m.round_sampler(0, 1.0);
+        assert_eq!(zero.sample_attempts(100, &mut rng), 0);
+        let mut fresh = StdRng::seed_from_u64(1);
+        assert_eq!(rng.random_bool(0.5), fresh.random_bool(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "link quality")]
+    fn sampler_rejects_bad_quality() {
+        EprModel::default().round_sampler(1, 0.0);
     }
 }

@@ -50,7 +50,7 @@ pub mod status;
 
 pub use builder::CloudBuilder;
 pub use cloud::Cloud;
-pub use epr::EprModel;
+pub use epr::{EprModel, RoundSampler};
 pub use latency::LatencyModel;
 pub use qpu::{Qpu, QpuId};
 pub use status::{CloudStatus, ResourceError};

@@ -92,7 +92,7 @@ use cloudqc_sim::{BatchStats, EventQueue, SimRng, Tick};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use scoped_threadpool::Pool;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use crate::schedule::priority::priorities;
 use crate::schedule::RemoteDag;
@@ -206,19 +206,31 @@ impl AllocStats {
 /// the whole shard. A hot pair with 10⁴+ pending requests pays O(log
 /// buckets + bucket len) per insert/remove instead of O(shard len).
 ///
-/// Schedulers still see one flat sorted slice: [`Shard::refresh_flat`]
-/// concatenates the buckets lazily, once per allocation round a stale
-/// shard is visited, however many membership changes accumulated since
-/// the last visit. Every change marks the shard dirty, and only dirty
-/// shards are ever read, so a stale `flat` is never observed.
+/// The serial allocation pass streams the buckets themselves to the
+/// scheduler (each bucket is a valid shard under the sharded input
+/// contract), so it never concatenates anything. Only the *parallel*
+/// round needs one contiguous slice per shard for its component
+/// fan-out: [`Shard::refresh_flat`] catches the lazy `flat` view up
+/// with the buckets then, once per visit, however many membership
+/// changes accumulated since. Every change marks the shard dirty, and
+/// only dirty shards are ever read, so a stale `flat` is never
+/// observed.
 struct Shard {
     /// The unordered communication edge (lower QPU first).
     pair: (QpuId, QpuId),
     /// `(priority, requests)` buckets: priorities strictly descending,
     /// keys ascending within a bucket, empty buckets removed eagerly.
-    buckets: Vec<(usize, Vec<RemoteRequest>)>,
+    /// Each bucket is a `VecDeque` because the hot membership changes
+    /// all happen at its ends: a grant removes the bucket's *head*
+    /// (lowest key), a failed round re-inserts that same head, and
+    /// newly admitted jobs carry monotonically increasing keys that
+    /// append at the *tail* — all O(1), where a `Vec` would memmove
+    /// the whole bucket per grant/retry cycle.
+    buckets: Vec<(usize, VecDeque<RemoteRequest>)>,
     /// The flattened (priority desc, key asc) view handed to the
-    /// scheduler; valid only when `flat_stale` is false.
+    /// *parallel* round's component fan-out; valid only when
+    /// `flat_stale` is false. The serial pass streams the buckets
+    /// directly and never reads it.
     flat: Vec<RemoteRequest>,
     /// Whether `flat` lags the buckets.
     flat_stale: bool,
@@ -226,6 +238,15 @@ struct Shard {
     len: usize,
     /// Whether the shard is already queued in `ShardedFront::dirty`.
     dirty: bool,
+    /// The shard's *best head* — `(priority, key)` of the request the
+    /// grantable-heads merge would pop first (max priority, min key
+    /// within it), or `None` when the shard is empty. Maintained O(1)
+    /// on every membership change (`ShardedFront::insert`/`remove`;
+    /// `touch_qpu` changes no membership, so it needs no upkeep), so
+    /// the allocation pass can order dirty shards by grant order and
+    /// skip drained shards without touching their request lists or
+    /// paying the flat-view refresh.
+    head: Option<(usize, u64)>,
 }
 
 impl Shard {
@@ -237,9 +258,21 @@ impl Shard {
         }
         self.flat.clear();
         for (_, bucket) in &self.buckets {
-            self.flat.extend_from_slice(bucket);
+            let (head, tail) = bucket.as_slices();
+            self.flat.extend_from_slice(head);
+            self.flat.extend_from_slice(tail);
         }
         self.flat_stale = false;
+    }
+
+    /// Recomputes the cached best head from the buckets: the first
+    /// bucket holds the highest priority, its first request the lowest
+    /// key. O(1).
+    fn recompute_head(&mut self) {
+        self.head = self
+            .buckets
+            .first()
+            .map(|(priority, bucket)| (*priority, bucket[0].key));
     }
 }
 
@@ -311,6 +344,7 @@ impl ShardedFront {
             flat_stale: false,
             len: 0,
             dirty: false,
+            head: None,
         });
         self.by_pair.insert(pair, shard);
         self.by_qpu[pair.0.index()].push(shard);
@@ -326,7 +360,7 @@ impl ShardedFront {
         let slot = match s.buckets.binary_search_by(|&(p, _)| req.priority.cmp(&p)) {
             Ok(slot) => slot,
             Err(slot) => {
-                s.buckets.insert(slot, (req.priority, Vec::new()));
+                s.buckets.insert(slot, (req.priority, VecDeque::new()));
                 slot
             }
         };
@@ -337,6 +371,7 @@ impl ShardedFront {
         bucket.insert(pos, req);
         s.len += 1;
         s.flat_stale = true;
+        s.recompute_head();
         self.len += 1;
         self.mark_dirty(shard);
     }
@@ -358,6 +393,7 @@ impl ShardedFront {
         }
         s.len -= 1;
         s.flat_stale = true;
+        s.recompute_head();
         self.len -= 1;
         self.mark_dirty(shard);
     }
@@ -457,6 +493,10 @@ pub struct Executor<'a> {
     /// Reused buffer the sharded pass swaps with the dirty list, so
     /// taking the round's dirty shards allocates nothing.
     visited_scratch: Vec<usize>,
+    /// Reused buffer holding the round's surviving shards in grant
+    /// order (best-head priority desc, key asc) — the sharded pass's
+    /// priority index over the dirty set.
+    order_scratch: Vec<usize>,
     /// Jobs finished since the last drain, in completion-event order.
     newly_finished: Vec<usize>,
     /// Change-driven allocation elision enabled (see
@@ -509,6 +549,7 @@ impl<'a> Executor<'a> {
             sharded_front: true,
             round_scratch: Vec::new(),
             visited_scratch: Vec::new(),
+            order_scratch: Vec::new(),
             newly_finished: Vec::new(),
             batched_allocation: true,
             scheduler_pure: scheduler.is_pure(),
@@ -1077,99 +1118,151 @@ impl<'a> Executor<'a> {
                 std::mem::replace(&mut front.dirty, std::mem::take(&mut self.visited_scratch));
             for &shard in &visited {
                 front.shards[shard].dirty = false;
-                // Catch a stale flat view up with the buckets: once per
-                // visit, however many membership changes accumulated.
-                front.shards[shard].refresh_flat();
             }
             visited
         };
-        let allocations = {
+        // The best-head index pass: keep only visited shards that are
+        // nonempty (cached head present) with both endpoints free — a
+        // shard with an endpoint at zero capacity cannot receive a
+        // grant from any valid scheduler, and its zero-granted requests
+        // would not perturb the others, so it settles clean *without*
+        // scanning its request list or paying the flat-view refresh,
+        // and is re-dirtied the moment that endpoint frees. Survivors
+        // are sorted by their cached head (priority desc, key asc):
+        // grant order, the order the grantable-heads merge pops them
+        // in. Keys are unique, so the order is total and the unstable
+        // sort deterministic; order-insensitive schedulers (every pure
+        // one) emit identical allocations either way.
+        debug_assert!(self.order_scratch.is_empty());
+        let mut order = std::mem::take(&mut self.order_scratch);
+        {
+            let FrontLayer::Sharded(front) = &mut self.front else {
+                unreachable!("sharded pass on a global front layer")
+            };
+            order.extend(visited.iter().copied().filter(|&shard| {
+                let s = &front.shards[shard];
+                s.head.is_some()
+                    && self.comm_free[s.pair.0.index()] > 0
+                    && self.comm_free[s.pair.1.index()] > 0
+            }));
+            let shards = &front.shards;
+            order.sort_unstable_by(|&x, &y| {
+                let (px, kx) = shards[x].head.expect("survivors are nonempty");
+                let (py, ky) = shards[y].head.expect("survivors are nonempty");
+                py.cmp(&px).then(kx.cmp(&ky))
+            });
+        }
+        // Parallel round: shards that share no QPU cannot
+        // affect each other's grants (capacity is the only
+        // coupling), so QPU-disjoint shard *components*
+        // evaluate concurrently against the same capacity
+        // snapshot; the merge below restores the serial
+        // emission order exactly. Requires a pool, a declared
+        // emission order, and ≥ 2 components — otherwise the
+        // serial call runs verbatim. (Pure schedulers never
+        // draw from the RNG, so neither path advances it.)
+        let parallel = self
+            .emission_order
+            .filter(|_| self.pool.is_some() && order.len() >= 2);
+        if parallel.is_some() {
+            // Only the parallel fan-out consumes the per-shard flat
+            // view (component slices must be contiguous); catch stale
+            // ones up with the buckets, once per visit however many
+            // membership changes accumulated. The serial path streams
+            // the buckets directly and never materializes `flat`.
+            let FrontLayer::Sharded(front) = &mut self.front else {
+                unreachable!("sharded pass on a global front layer")
+            };
+            for &shard in &order {
+                front.shards[shard].refresh_flat();
+            }
+        }
+        let allocations = if order.is_empty() {
+            // Every visited shard drained or starved: settled.
+            Vec::new()
+        } else {
             let FrontLayer::Sharded(front) = &self.front else {
                 unreachable!("sharded pass on a global front layer")
             };
             let comm_free = &self.comm_free;
-            let shards: Vec<&[RemoteRequest]> = visited
+            self.alloc_stats.rounds += 1;
+            self.alloc_stats.shards_visited += order.len() as u64;
+            self.alloc_stats.requests_scanned += order
                 .iter()
-                .map(|&shard| &front.shards[shard])
-                .filter(|shard| {
-                    // A shard with an endpoint at zero free capacity
-                    // cannot receive a grant from any valid scheduler,
-                    // and its zero-granted requests would not perturb
-                    // the others — skip it before the merge. It
-                    // settles clean like any barren visit and is
-                    // re-dirtied the moment that endpoint frees.
-                    shard.len > 0
-                        && comm_free[shard.pair.0.index()] > 0
-                        && comm_free[shard.pair.1.index()] > 0
-                })
-                .map(|shard| shard.flat.as_slice())
-                .collect();
-            if shards.is_empty() {
-                // Every visited shard drained or starved: settled.
-                Vec::new()
-            } else {
-                self.alloc_stats.rounds += 1;
-                self.alloc_stats.shards_visited += shards.len() as u64;
-                self.alloc_stats.requests_scanned +=
-                    shards.iter().map(|s| s.len() as u64).sum::<u64>();
-                // Parallel round: shards that share no QPU cannot
-                // affect each other's grants (capacity is the only
-                // coupling), so QPU-disjoint shard *components*
-                // evaluate concurrently against the same capacity
-                // snapshot; the merge below restores the serial
-                // emission order exactly. Requires a pool, a declared
-                // emission order, and ≥ 2 components — otherwise the
-                // serial call runs verbatim. (Pure schedulers never
-                // draw from the RNG, so neither path advances it.)
-                let parallel = self
-                    .emission_order
-                    .filter(|_| self.pool.is_some() && shards.len() >= 2);
-                let allocations = match parallel {
-                    Some(order) => {
-                        let components = group_components(
-                            &shards,
-                            self.comm_free.len(),
-                            &mut self.component_scratch,
-                        );
-                        if components.len() >= 2 {
-                            let total: usize = components.iter().map(|c| c.requests).sum();
-                            let largest = components.iter().map(|c| c.requests).max().unwrap_or(0);
-                            self.alloc_stats.parallel_rounds += 1;
-                            self.alloc_stats.parallel_components += components.len() as u64;
-                            self.alloc_stats.parallel_imbalance +=
-                                largest.saturating_sub(total / components.len()) as u64;
-                            let pool = self.pool.as_mut().expect("pool exists at >= 2 workers");
-                            let outputs = evaluate_components(
-                                pool,
-                                self.scheduler,
-                                &shards,
-                                &components,
-                                comm_free,
-                            );
-                            merge_components(outputs, order, &self.jobs)
-                        } else {
-                            self.scheduler
-                                .allocate_sharded(&shards, comm_free, &mut self.rng)
-                        }
-                    }
-                    None => {
-                        self.scheduler
-                            .allocate_sharded(&shards, &self.comm_free, &mut self.rng)
-                    }
-                };
-                #[cfg(debug_assertions)]
-                {
-                    let flat: Vec<RemoteRequest> =
-                        shards.iter().flat_map(|s| s.iter().copied()).collect();
-                    debug_assert!(
-                        validate_allocations(&flat, &self.comm_free, &allocations).is_ok(),
-                        "scheduler {} violated its contract: {:?}",
-                        self.scheduler.name(),
-                        validate_allocations(&flat, &self.comm_free, &allocations)
+                .map(|&shard| front.shards[shard].len as u64)
+                .sum::<u64>();
+            let allocations = match parallel {
+                Some(emission) => {
+                    let shards: Vec<&[RemoteRequest]> = order
+                        .iter()
+                        .map(|&shard| front.shards[shard].flat.as_slice())
+                        .collect();
+                    let components = group_components(
+                        &shards,
+                        self.comm_free.len(),
+                        &mut self.component_scratch,
                     );
+                    if components.len() >= 2 {
+                        let total: usize = components.iter().map(|c| c.requests).sum();
+                        let largest = components.iter().map(|c| c.requests).max().unwrap_or(0);
+                        self.alloc_stats.parallel_rounds += 1;
+                        self.alloc_stats.parallel_components += components.len() as u64;
+                        self.alloc_stats.parallel_imbalance +=
+                            largest.saturating_sub(total / components.len()) as u64;
+                        let pool = self.pool.as_mut().expect("pool exists at >= 2 workers");
+                        let outputs = evaluate_components(
+                            pool,
+                            self.scheduler,
+                            &shards,
+                            &components,
+                            comm_free,
+                        );
+                        merge_components(outputs, emission, &self.jobs)
+                    } else {
+                        self.scheduler
+                            .allocate_sharded(&shards, comm_free, &mut self.rng)
+                    }
                 }
-                allocations
+                None => {
+                    // The serial hot path streams each grant-ordered
+                    // shard's priority buckets straight out of the
+                    // index as individual merge inputs — a bucket is
+                    // itself a valid shard under the sharded contract
+                    // (one QPU pair, sorted, keys unique), so no
+                    // per-pass slice list is collected and no flat
+                    // view is ever materialized.
+                    self.scheduler.allocate_shard_iter(
+                        &mut order.iter().flat_map(|&shard| {
+                            front.shards[shard].buckets.iter().flat_map(|(_, bucket)| {
+                                // A deque exposes up to two contiguous
+                                // runs; each is a sorted single-pair
+                                // segment, i.e. a valid shard slice of
+                                // its own (empties are dropped by the
+                                // merge's cursor builder).
+                                let (head, tail) = bucket.as_slices();
+                                [head, tail].into_iter()
+                            })
+                        }),
+                        comm_free,
+                        &mut self.rng,
+                    )
+                }
+            };
+            #[cfg(debug_assertions)]
+            {
+                let flat: Vec<RemoteRequest> = order
+                    .iter()
+                    .flat_map(|&shard| front.shards[shard].buckets.iter())
+                    .flat_map(|(_, bucket)| bucket.iter().copied())
+                    .collect();
+                debug_assert!(
+                    validate_allocations(&flat, &self.comm_free, &allocations).is_ok(),
+                    "scheduler {} violated its contract: {:?}",
+                    self.scheduler.name(),
+                    validate_allocations(&flat, &self.comm_free, &allocations)
+                );
             }
+            allocations
         };
         let epr_latency = self.cloud.latency().epr_attempt();
         for alloc in allocations {
@@ -1200,6 +1293,8 @@ impl<'a> Executor<'a> {
         let mut visited = visited;
         visited.clear();
         self.visited_scratch = visited;
+        order.clear();
+        self.order_scratch = order;
     }
 
     fn handle(&mut self, event: Event) {
@@ -1242,9 +1337,14 @@ impl<'a> Executor<'a> {
                 let epr = self.cloud.epr();
                 let quality = self.cloud.bottleneck_reliability(a, b);
                 let attempts = self.jobs[job].remaining_hops[node];
-                let successes = (0..attempts)
-                    .filter(|_| epr.sample_round_with_quality(pairs, quality, &mut self.rng))
-                    .count() as u32;
+                // Fast path: every hop this round shares one
+                // `(pairs, quality)`, so the round-success probability
+                // is computed once and the batch sampler draws the
+                // identical RNG sequence (one draw per hop, same
+                // order) the per-hop loop did — schedules stay
+                // bit-for-bit unchanged.
+                let sampler = epr.round_sampler(pairs, quality);
+                let successes = sampler.sample_attempts(attempts as u64, &mut self.rng) as u32;
                 let remaining = attempts - successes;
                 self.jobs[job].remaining_hops[node] = remaining;
                 if remaining == 0 {
@@ -1287,11 +1387,15 @@ impl<'a> Executor<'a> {
         true
     }
 
-    /// Drains the finished-job buffer, in ascending job id.
-    fn drain_finished(&mut self) -> Vec<usize> {
-        let mut finished = std::mem::take(&mut self.newly_finished);
-        finished.sort_unstable();
-        finished
+    /// Drains the finished-job buffer into `out` (cleared first), in
+    /// ascending job id. The internal buffer keeps its capacity
+    /// (`clear`, not `take`), so a caller ping-ponging one `out`
+    /// buffer across `run_*_into` calls allocates nothing per call.
+    fn drain_finished_into(&mut self, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend_from_slice(&self.newly_finished);
+        self.newly_finished.clear();
+        out.sort_unstable();
     }
 
     /// Runs until every admitted job finishes.
@@ -1306,11 +1410,21 @@ impl<'a> Executor<'a> {
     /// times in incoming-job mode). Returns the ids of jobs that
     /// finished since the previous `run_*` call, in ascending id.
     pub fn run_until(&mut self, deadline: Tick) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.run_until_into(deadline, &mut out);
+        out
+    }
+
+    /// Buffer-reusing variant of [`Executor::run_until`]: fills `out`
+    /// (cleared first) instead of allocating a fresh vector. The
+    /// runtime engine threads one scratch buffer through every
+    /// executor advance.
+    pub fn run_until_into(&mut self, deadline: Tick, out: &mut Vec<usize>) {
         while self.queue.peek_time().is_some_and(|t| t <= deadline) {
             self.step();
         }
         self.now = self.now.max(deadline);
-        self.drain_finished()
+        self.drain_finished_into(out);
     }
 
     /// Runs until at least one more job finishes; returns the ids of
@@ -1318,12 +1432,20 @@ impl<'a> Executor<'a> {
     /// several at one tick), or an empty vec if everything is already
     /// done.
     pub fn run_until_next_completion(&mut self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.run_until_next_completion_into(&mut out);
+        out
+    }
+
+    /// Buffer-reusing variant of
+    /// [`Executor::run_until_next_completion`].
+    pub fn run_until_next_completion_into(&mut self, out: &mut Vec<usize>) {
         while self.newly_finished.is_empty() {
             if !self.step() {
                 break;
             }
         }
-        self.drain_finished()
+        self.drain_finished_into(out);
     }
 
     /// Like [`Executor::run_until_next_completion`], but only processes
@@ -1333,12 +1455,20 @@ impl<'a> Executor<'a> {
     /// tick-budgeted continuous service uses this to stop an advance at
     /// its drive deadline.
     pub fn run_until_next_completion_before(&mut self, deadline: Tick) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.run_until_next_completion_before_into(deadline, &mut out);
+        out
+    }
+
+    /// Buffer-reusing variant of
+    /// [`Executor::run_until_next_completion_before`].
+    pub fn run_until_next_completion_before_into(&mut self, deadline: Tick, out: &mut Vec<usize>) {
         while self.newly_finished.is_empty()
             && self.queue.peek_time().is_some_and(|t| t <= deadline)
         {
             self.step();
         }
-        self.drain_finished()
+        self.drain_finished_into(out);
     }
 
     /// Timestamp of the next pending event, if any.
@@ -2026,5 +2156,104 @@ mod tests {
         let r = simulate_job(&c, &p, &cloud, &CloudQcScheduler, 17);
         assert!(r.epr_wait > 0, "remote gates must wait on EPR");
         assert!(r.epr_wait <= r.completion_time.as_ticks());
+    }
+
+    /// Property coverage for the cached best-head shard index: after
+    /// any sequence of membership changes, every shard's `head` must
+    /// agree with a from-scratch scan of its pending requests. Run
+    /// directly with `cargo test -p cloudqc-core shard_head_index`.
+    mod shard_head_index {
+        use super::super::{RemoteRequest, ShardedFront};
+        use cloudqc_cloud::QpuId;
+        use proptest::prelude::*;
+
+        const QPUS: usize = 5;
+
+        /// One scripted front-layer operation; endpoint / pick values
+        /// are reduced modulo whatever is legal when applied.
+        #[derive(Debug, Clone)]
+        enum Op {
+            Insert { a: u8, b: u8, priority: u8 },
+            Remove { pick: u8 },
+            Touch { qpu: u8 },
+        }
+
+        fn op_strategy() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                // Inserts weighted heaviest so shards actually fill.
+                4 => (0..QPUS as u8, 0..QPUS as u8, 0u8..4).prop_map(|(a, b, priority)| {
+                    Op::Insert { a, b, priority }
+                }),
+                2 => any::<u8>().prop_map(|pick| Op::Remove { pick }),
+                1 => (0..QPUS as u8).prop_map(|qpu| Op::Touch { qpu }),
+            ]
+        }
+
+        /// The head a from-scratch scan of `pending` predicts for
+        /// `shard`: max priority, min key within it.
+        fn expected_head(pending: &[(usize, RemoteRequest)], shard: usize) -> Option<(usize, u64)> {
+            pending
+                .iter()
+                .filter(|(s, _)| *s == shard)
+                .map(|(_, r)| (r.priority, r.key))
+                // Grant order: priority descending, then key ascending —
+                // min over (Reverse(priority), key) without the import.
+                .min_by(|x, y| y.0.cmp(&x.0).then(x.1.cmp(&y.1)))
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn cached_head_matches_from_scratch_scan(ops in prop::collection::vec(op_strategy(), 1..120)) {
+                let mut front = ShardedFront::new(QPUS);
+                // Mirror of every pending request: (shard, request).
+                let mut pending: Vec<(usize, RemoteRequest)> = Vec::new();
+                let mut next_key = 0u64;
+                for op in ops {
+                    match op {
+                        Op::Insert { a, b, priority } => {
+                            if a == b {
+                                continue; // remote gates span distinct QPUs
+                            }
+                            let (a, b) = (QpuId::new(a as usize), QpuId::new(b as usize));
+                            let shard = front.shard_for(a, b);
+                            let req = RemoteRequest {
+                                key: next_key,
+                                a,
+                                b,
+                                priority: priority as usize,
+                            };
+                            next_key += 1;
+                            front.insert(shard, req);
+                            pending.push((shard, req));
+                        }
+                        Op::Remove { pick } => {
+                            if pending.is_empty() {
+                                continue;
+                            }
+                            let (shard, req) = pending.remove(pick as usize % pending.len());
+                            front.remove(shard, req.priority, req.key);
+                        }
+                        Op::Touch { qpu } => {
+                            // Changes no membership: the cached heads
+                            // must survive it untouched.
+                            front.touch_qpu(qpu as usize);
+                        }
+                    }
+                    for (shard_id, shard) in front.shards.iter().enumerate() {
+                        prop_assert_eq!(
+                            shard.head,
+                            expected_head(&pending, shard_id),
+                            "shard {} head diverged from a from-scratch scan",
+                            shard_id
+                        );
+                    }
+                }
+                let live: usize = front.shards.iter().map(|s| s.len).sum();
+                prop_assert_eq!(live, pending.len());
+                prop_assert_eq!(front.len, pending.len());
+            }
+        }
     }
 }

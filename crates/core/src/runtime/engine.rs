@@ -132,6 +132,9 @@ pub(crate) struct Engine<'a> {
     /// worker). The executor owns a separate pool for its sharded
     /// rounds; both exist only when `cfg.worker_threads >= 2`.
     pool: Option<Pool>,
+    /// Reused buffer threaded through the executor's `run_*_into`
+    /// advances, so draining finished jobs allocates nothing per call.
+    finished_scratch: Vec<usize>,
 }
 
 impl<'a> Engine<'a> {
@@ -153,6 +156,7 @@ impl<'a> Engine<'a> {
             retired_batches: BatchStats::default(),
             retired_preemptions: 0,
             pool: (cfg.worker_threads >= 2).then(|| Pool::new(cfg.worker_threads as u32)),
+            finished_scratch: Vec::new(),
             cfg,
             continuous,
             clock_base,
@@ -380,8 +384,10 @@ impl<'a> Engine<'a> {
             if let Some(&id) = self.upcoming.get(self.next_arrival) {
                 let arrival = self.jobs[id].arrival;
                 if deadline.is_none_or(|d| arrival <= d) {
-                    let finished = self.exec.run_until(arrival);
-                    self.record_finished(online, finished);
+                    let mut finished = std::mem::take(&mut self.finished_scratch);
+                    self.exec.run_until_into(arrival, &mut finished);
+                    self.record_finished(online, &finished);
+                    self.finished_scratch = finished;
                     while self.next_arrival < self.upcoming.len()
                         && self.jobs[self.upcoming[self.next_arrival]].arrival <= arrival
                     {
@@ -396,8 +402,10 @@ impl<'a> Engine<'a> {
             if self.exec.unfinished_jobs() > 0 {
                 match deadline {
                     None => {
-                        let finished = self.exec.run_until_next_completion();
+                        let mut finished = std::mem::take(&mut self.finished_scratch);
+                        self.exec.run_until_next_completion_into(&mut finished);
                         if finished.is_empty() {
+                            self.finished_scratch = finished;
                             // In-flight jobs but no future events: every
                             // runnable job is suspended (the last
                             // critical job was rejected or never
@@ -408,13 +416,16 @@ impl<'a> Engine<'a> {
                             }
                             return Err(PlacementError::NoFeasiblePlacement);
                         }
-                        self.record_finished(online, finished);
+                        self.record_finished(online, &finished);
+                        self.finished_scratch = finished;
                     }
                     Some(d) => {
                         let exhausted = self.exec.next_event_time().is_none_or(|t| t > d);
-                        let finished = self.exec.run_until(d);
+                        let mut finished = std::mem::take(&mut self.finished_scratch);
+                        self.exec.run_until_into(d, &mut finished);
                         let progressed = !finished.is_empty();
-                        self.record_finished(online, finished);
+                        self.record_finished(online, &finished);
+                        self.finished_scratch = finished;
                         if exhausted && !progressed {
                             // Nothing more can happen inside the
                             // budget; the clock is parked at the
@@ -428,11 +439,14 @@ impl<'a> Engine<'a> {
                 // raising unfinished_jobs; drain them before deciding
                 // the era is quiescent (run_until_next_completion
                 // returns the buffered completions without stepping).
-                let finished = self.exec.run_until_next_completion();
+                let mut finished = std::mem::take(&mut self.finished_scratch);
+                self.exec.run_until_next_completion_into(&mut finished);
                 if !finished.is_empty() {
-                    self.record_finished(online, finished);
+                    self.record_finished(online, &finished);
+                    self.finished_scratch = finished;
                     continue;
                 }
+                self.finished_scratch = finished;
                 if self.waiting.is_empty() {
                     // Quiescent up to the budget (any remaining
                     // arrivals are beyond the deadline); park the idle
@@ -440,8 +454,10 @@ impl<'a> Engine<'a> {
                     // ends at `t`.
                     if let Some(d) = deadline {
                         if self.exec.now() < d {
-                            let late = self.exec.run_until(d);
+                            let mut late = std::mem::take(&mut self.finished_scratch);
+                            self.exec.run_until_into(d, &mut late);
                             debug_assert!(late.is_empty());
+                            self.finished_scratch = late;
                         }
                     }
                     return Ok(());
@@ -743,13 +759,13 @@ impl<'a> Engine<'a> {
     /// Folds a batch of finished executor jobs into the ledger, the
     /// streaming report, and the window buffer; resumes suspended jobs
     /// once the last critical job completes.
-    fn record_finished(&mut self, online: &mut OnlineReport, finished: Vec<usize>) {
+    fn record_finished(&mut self, online: &mut OnlineReport, finished: &[usize]) {
         if finished.is_empty() {
             return;
         }
         self.admission_dirty = true;
         let mut critical_done = 0;
-        for exec_id in finished {
+        for &exec_id in finished {
             let Admitted {
                 job,
                 demand,

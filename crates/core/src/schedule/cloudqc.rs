@@ -6,8 +6,8 @@
 //! eventually receives at least one pair.
 
 use super::{
-    allocate_prioritized, allocate_sharded_prioritized, Allocation, EmissionOrder, PriorityPolicy,
-    RemoteRequest, Scheduler,
+    allocate_prioritized, allocate_sharded_prioritized, allocate_sharded_prioritized_iter,
+    Allocation, EmissionOrder, PriorityPolicy, RemoteRequest, Scheduler,
 };
 use rand::rngs::StdRng;
 
@@ -58,6 +58,18 @@ impl Scheduler for CloudQcScheduler {
         _rng: &mut StdRng,
     ) -> Vec<Allocation> {
         allocate_sharded_prioritized(shards, available, PriorityPolicy::FloorThenRedundancy)
+    }
+
+    /// Streaming variant of the same merge: cursors build directly off
+    /// the iterator, so the executor's serial pass never collects a
+    /// slice list.
+    fn allocate_shard_iter(
+        &self,
+        shards: &mut dyn Iterator<Item = &[RemoteRequest]>,
+        available: &[usize],
+        _rng: &mut StdRng,
+    ) -> Vec<Allocation> {
+        allocate_sharded_prioritized_iter(shards, available, PriorityPolicy::FloorThenRedundancy)
     }
 
     fn is_pure(&self) -> bool {

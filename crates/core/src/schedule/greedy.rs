@@ -6,8 +6,8 @@
 //! paper finds this has the *worst* job completion time.
 
 use super::{
-    allocate_prioritized, allocate_sharded_prioritized, Allocation, EmissionOrder, PriorityPolicy,
-    RemoteRequest, Scheduler,
+    allocate_prioritized, allocate_sharded_prioritized, allocate_sharded_prioritized_iter,
+    Allocation, EmissionOrder, PriorityPolicy, RemoteRequest, Scheduler,
 };
 use rand::rngs::StdRng;
 
@@ -50,6 +50,18 @@ impl Scheduler for GreedyScheduler {
         _rng: &mut StdRng,
     ) -> Vec<Allocation> {
         allocate_sharded_prioritized(shards, available, PriorityPolicy::MaxPerRequest)
+    }
+
+    /// Streaming variant of the same merge: cursors build directly off
+    /// the iterator, so the executor's serial pass never collects a
+    /// slice list.
+    fn allocate_shard_iter(
+        &self,
+        shards: &mut dyn Iterator<Item = &[RemoteRequest]>,
+        available: &[usize],
+        _rng: &mut StdRng,
+    ) -> Vec<Allocation> {
+        allocate_sharded_prioritized_iter(shards, available, PriorityPolicy::MaxPerRequest)
     }
 
     fn is_pure(&self) -> bool {

@@ -148,6 +148,33 @@ pub trait Scheduler: Sync {
         self.allocate(&flat, available, rng)
     }
 
+    /// [`Scheduler::allocate_sharded`] fed by a shard *iterator*
+    /// instead of a pre-collected slice list.
+    ///
+    /// This is the executor's serial sharded hot path: it streams the
+    /// grant-ordered dirty shards straight out of its persistent index
+    /// scratch, so no per-pass `Vec<&[RemoteRequest]>` is built — and
+    /// it may split one QPU pair's requests across *several*
+    /// consecutive slices (the executor streams its priority buckets
+    /// as-is; each is sorted, single-pair, and key-disjoint, so each
+    /// is a valid shard on its own). The input contract is otherwise
+    /// [`Scheduler::allocate_sharded`]'s; order-insensitive
+    /// implementations (every pure scheduler) emit identical
+    /// allocations for any slicing of the same request set. The
+    /// default collects the iterator and delegates, so every scheduler
+    /// keeps its existing sharded behaviour; [`CloudQcScheduler`] and
+    /// [`GreedyScheduler`] override it to build their grantable-heads
+    /// merge cursors directly from the stream.
+    fn allocate_shard_iter(
+        &self,
+        shards: &mut dyn Iterator<Item = &[RemoteRequest]>,
+        available: &[usize],
+        rng: &mut StdRng,
+    ) -> Vec<Allocation> {
+        let collected: Vec<&[RemoteRequest]> = shards.collect();
+        self.allocate_sharded(&collected, available, rng)
+    }
+
     /// The order [`Scheduler::allocate_sharded`] emits allocations in,
     /// or `None` (the default) when no total order is declared.
     ///
@@ -268,6 +295,20 @@ pub(crate) fn allocate_sharded_prioritized(
     available: &[usize],
     policy: PriorityPolicy,
 ) -> Vec<Allocation> {
+    allocate_sharded_prioritized_iter(&mut shards.iter().copied(), available, policy)
+}
+
+/// The iterator-fed core of [`allocate_sharded_prioritized`]: builds
+/// the merge cursors straight off the shard stream, so callers that
+/// already iterate an index (the executor's grant-ordered serial pass
+/// via [`Scheduler::allocate_shard_iter`]) skip the slice-list
+/// collection entirely. Shard order is irrelevant to the output — the
+/// merge pops the globally best live head under a strict total order.
+pub(crate) fn allocate_sharded_prioritized_iter(
+    shards: &mut dyn Iterator<Item = &[RemoteRequest]>,
+    available: &[usize],
+    policy: PriorityPolicy,
+) -> Vec<Allocation> {
     /// One live shard's walk position, with the head cached so the
     /// selection loop compares through one pointer, and the shard's
     /// (uniform) endpoint indices alongside.
@@ -279,7 +320,6 @@ pub(crate) fn allocate_sharded_prioritized(
     }
     let mut remaining = available.to_vec();
     let mut cursors: Vec<Cursor> = shards
-        .iter()
         .filter(|s| !s.is_empty())
         .map(|s| Cursor {
             head: &s[0],

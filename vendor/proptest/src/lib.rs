@@ -5,6 +5,7 @@
 //!
 //! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`,
 //! * range and tuple strategies, [`collection::vec`], [`arbitrary::any`],
+//!   weighted unions via [`prop_oneof!`],
 //! * the [`proptest!`], [`prop_assert!`], and [`prop_assert_eq!`] macros,
 //! * [`test_runner::ProptestConfig`] case counts.
 //!
@@ -127,6 +128,41 @@ pub mod strategy {
 
         fn new_value(&self, rng: &mut TestRng) -> Self::Value {
             (self.f)(self.inner.new_value(rng)).new_value(rng)
+        }
+    }
+
+    /// A strategy choosing among weighted alternatives; see
+    /// [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<T> {
+        options: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `(weight, strategy)` alternatives.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty or all weights are zero.
+        pub fn new(options: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+            let total: u32 = options.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! needs at least one positive weight");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let total: u32 = self.options.iter().map(|(w, _)| *w).sum();
+            let mut pick = rng.random_range(0..total);
+            for (weight, strategy) in &self.options {
+                if pick < *weight {
+                    return strategy.new_value(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("pick was drawn below the weight total")
         }
     }
 
@@ -311,7 +347,27 @@ pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Upstream's `prop::` path alias (`prop::collection::vec`, …).
+    pub use crate as prop;
+}
+
+/// A strategy drawing from one of several alternatives, optionally
+/// weighted (`weight => strategy`); upstream proptest's `prop_oneof!`.
+/// All alternatives must generate the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {{
+        let options: ::std::vec::Vec<(
+            u32,
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        )> = ::std::vec![$(($weight as u32, ::std::boxed::Box::new($strat))),+];
+        $crate::strategy::Union::new(options)
+    }};
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
 }
 
 /// Defines property test functions.
@@ -444,6 +500,18 @@ mod tests {
         ) {
             prop_assert!(a < 12 && b < 9);
             prop_assert_eq!(flag, flag);
+        }
+
+        #[test]
+        fn oneof_draws_only_from_its_alternatives(
+            x in prop_oneof![
+                3 => (0usize..10).prop_map(|v| v),
+                1 => Just(42usize),
+            ],
+            y in prop_oneof![0u8..4, Just(9u8)],
+        ) {
+            prop_assert!(x < 10 || x == 42);
+            prop_assert!(y < 4 || y == 9);
         }
 
         #[test]
